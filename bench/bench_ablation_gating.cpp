@@ -1,0 +1,62 @@
+// Ablation A2: what power gating buys.
+//
+// Reports the measured leakage energy of each architecture against the
+// no-gating bound (every macro powered for the whole run), for the
+// best-case (Case 1) and worst-case (Case 2) scenarios.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace hhpim;
+using namespace hhpim::bench;
+
+namespace {
+
+/// Always-on leakage bound: all macros + PEs powered for `duration`.
+Energy no_gating_bound(const sys::ArchConfig& arch, Time duration) {
+  const auto spec = energy::PowerSpec::paper_45nm();
+  const double sram_scale = static_cast<double>(arch.sram_kb_per_module) / 64.0;
+  const double mram_scale = static_cast<double>(arch.mram_kb_per_module) / 64.0;
+  Power total = Power::zero();
+  total += (spec.hp.sram_power.leakage * sram_scale + spec.hp.mram_power.leakage * mram_scale +
+            spec.hp.pe.leakage) *
+           static_cast<double>(arch.hp_modules);
+  total += (spec.lp.sram_power.leakage * sram_scale + spec.lp.mram_power.leakage * mram_scale +
+            spec.lp.pe.leakage) *
+           static_cast<double>(arch.lp_modules);
+  return total * duration;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: leakage with power gating vs always-on bound ==\n\n");
+  const nn::Model model = nn::zoo::efficientnet_b0();
+  const workload::ScenarioConfig wc{.slices = 20};
+
+  for (const auto scenario :
+       {workload::Scenario::kLowConstant, workload::Scenario::kHighConstant}) {
+    const auto loads = workload::generate(scenario, wc);
+    std::printf("%s (%s):\n", workload::case_name(scenario), workload::to_string(scenario));
+    Table t{{"Architecture", "leakage (gated)", "leakage (always-on bound)",
+             "gating saves", "total energy"}};
+
+    sys::Processor hh{bench_config(sys::ArchConfig::hhpim()), model};
+    const Time slice = hh.slice_length();
+    for (const auto& arch : sys::ArchConfig::paper_table1()) {
+      sys::Processor p{bench_config(arch, slice), model};
+      const auto run = p.run_scenario(loads);
+      const Energy leak = p.ledger().total(energy::Activity::kLeakage);
+      const Energy bound = no_gating_bound(arch, run.total_time);
+      t.add_row({arch.name, leak.to_string(), bound.to_string(),
+                 pct(sys::energy_saving_percent(leak, bound)) + " %",
+                 run.total_energy.to_string()});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  std::printf("Reading: HH-PIM's dynamic placement keeps its gated leakage near zero at\n"
+              "low load (weights parked in MRAM), while SRAM-only architectures must\n"
+              "retain weights and pay leakage regardless of gating support.\n");
+  return 0;
+}

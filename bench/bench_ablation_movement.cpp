@@ -1,0 +1,62 @@
+// Ablation A3: the cost of modeling data-movement overhead.
+//
+// Runs HH-PIM with the realistic rearrange-buffer/MEM-interface movement
+// model against an idealized free-movement variant (infinite bandwidth, zero
+// latency and energy), on the scenarios with frequent placement changes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+using namespace hhpim;
+using namespace hhpim::bench;
+
+int main() {
+  std::printf("== Ablation: data-movement overhead model ==\n\n");
+  const nn::Model model = nn::zoo::efficientnet_b0();
+  const workload::ScenarioConfig wc{.slices = 30};
+
+  Table t{{"Scenario", "E (real movement)", "E (free movement)", "interface share (%)",
+           "weights moved (MB)", "misses real", "misses free"}};
+  for (const auto scenario :
+       {workload::Scenario::kPeriodicSpike, workload::Scenario::kPeriodicSpikeFrequent,
+        workload::Scenario::kPulsing, workload::Scenario::kRandom}) {
+    const auto loads = workload::generate(scenario, wc);
+
+    sys::SystemConfig real = bench_config(sys::ArchConfig::hhpim());
+    sys::Processor preal{real, model};
+    const auto rreal = preal.run_scenario(loads);
+    const Energy xfer = preal.ledger().total(energy::Activity::kTransfer);
+
+    sys::SystemConfig free = bench_config(sys::ArchConfig::hhpim());
+    free.slice = preal.slice_length();
+    free.movement.bytes_per_ns_per_module = 1e9;  // effectively instantaneous
+    free.movement.interface_latency = Time::zero();
+    free.movement.energy_per_byte = Energy::zero();
+    sys::Processor pfree{free, model};
+    const auto rfree = pfree.run_scenario(loads);
+
+    // Total weight traffic between placements across the run.
+    double moved_mb = 0.0;
+    placement::Allocation prev;
+    for (const auto& s : rreal.slices) {
+      moved_mb += static_cast<double>(placement::plan_movement(prev, s.alloc).total()) / 1e6;
+      prev = s.alloc;
+    }
+    t.add_row({workload::case_name(scenario), rreal.total_energy.to_string(),
+               rfree.total_energy.to_string(),
+               pct(100.0 * xfer.as_pj() / rreal.total_energy.as_pj()),
+               format_double(moved_mb, 2),
+               std::to_string(rreal.deadline_violations),
+               std::to_string(rfree.deadline_violations)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Reading: re-placement traffic is real (megabytes of weights cross the\n"
+              "clusters over a run) but its energy is dominated by the memory reads and\n"
+              "writes, which both variants pay; the MEM-interface share itself is tiny,\n"
+              "and budgeting the movement time inside t_constraint keeps deadline misses\n"
+              "at zero either way — matching the paper's claim that re-placement never\n"
+              "delays inference.\n");
+  return 0;
+}

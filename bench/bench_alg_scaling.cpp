@@ -1,0 +1,77 @@
+// Algorithm runtime scaling (google-benchmark): Algorithm 1 is O(n*T*K) and
+// Algorithm 2 is O(T*K) (paper §III-B). These benches verify the DP cell
+// throughput and the end-to-end LUT construction cost that the resolution
+// limiter reasons about.
+#include <benchmark/benchmark.h>
+
+#include "energy/power_spec.hpp"
+#include "placement/knapsack.hpp"
+#include "placement/lut.hpp"
+
+using namespace hhpim;
+using placement::AllocationLut;
+using placement::ClusterDpTable;
+using placement::ClusterItems;
+using placement::CostModel;
+using placement::DpItem;
+
+namespace {
+
+CostModel paper_model() {
+  return CostModel::build(energy::PowerSpec::paper_45nm(),
+                          placement::ClusterShape{4, 64 * 1024, 64 * 1024},
+                          placement::ClusterShape{4, 64 * 1024, 64 * 1024}, 29.0);
+}
+
+void BM_Algorithm1(benchmark::State& state) {
+  const int t_steps = static_cast<int>(state.range(0));
+  const int k_blocks = static_cast<int>(state.range(1));
+  const ClusterItems items = {DpItem{3, 1.5, k_blocks}, DpItem{1, 4.0, k_blocks}};
+  for (auto _ : state) {
+    auto table = ClusterDpTable::build(items, t_steps, k_blocks);
+    benchmark::DoNotOptimize(table.energy(t_steps, k_blocks));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * t_steps * k_blocks);
+  state.counters["cells"] = 2.0 * t_steps * k_blocks;
+}
+
+void BM_Algorithm2(benchmark::State& state) {
+  const int t_steps = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(0)) / 4;
+  const ClusterItems items = {DpItem{3, 1.5, k}, DpItem{1, 4.0, k}};
+  const auto hp = ClusterDpTable::build(items, t_steps, k);
+  const auto lp = ClusterDpTable::build(items, t_steps, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement::combine_clusters(hp, lp, k, t_steps));
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+
+void BM_LutBuild(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const CostModel model = paper_model();
+  placement::LutParams p;
+  p.slice = Time::ms(100.0);
+  p.total_weights = 95'000;
+  p.t_entries = r;
+  p.k_blocks = r;
+  for (auto _ : state) {
+    auto lut = AllocationLut::build(model, p);
+    benchmark::DoNotOptimize(lut.entries().size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Algorithm1)
+    ->Args({256, 64})
+    ->Args({512, 64})
+    ->Args({1024, 64})   // linear in T
+    ->Args({512, 128})
+    ->Args({512, 256});  // linear in K
+
+BENCHMARK(BM_Algorithm2)->Arg(256)->Arg(1024)->Arg(4096);
+
+BENCHMARK(BM_LutBuild)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

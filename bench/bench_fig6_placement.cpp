@@ -1,0 +1,92 @@
+// Regenerates Fig. 6: memory utilization and task energy across t_constraint
+// under the optimized data placement, including the green (HH-PIM peak) and
+// purple (MRAM-only, H-PIM style) points and the in-text claims (16:9 peak
+// SRAM split; E_task reduction vs unoptimized allocation at relaxed
+// constraints).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "placement/lut.hpp"
+
+using namespace hhpim;
+using namespace hhpim::bench;
+using placement::Space;
+
+namespace {
+
+void sweep_model(const nn::Model& model) {
+  sys::Processor proc{bench_config(sys::ArchConfig::hhpim()), model};
+  const auto* lut = proc.lut();
+  const auto& cost = proc.cost_model();
+  const std::uint64_t K = model.effective_params();
+
+  std::printf("--- %s: T = %s ---\n", model.name().c_str(),
+              proc.slice_length().to_string().c_str());
+  std::printf("green point (peak, SRAM allowed):  task time %s\n",
+              proc.peak_task_time().to_string().c_str());
+  std::printf("purple point (MRAM only, H-PIM):   task time %s  (%.2fx slower; paper 1.43x)\n",
+              proc.mram_only_task_time().to_string().c_str(),
+              proc.mram_only_task_time() / proc.peak_task_time());
+
+  // Peak SRAM split (paper: 16:9 between HP-SRAM and LP-SRAM).
+  const auto peak_entry = [&]() -> const placement::LutEntry* {
+    for (const auto& e : lut->entries()) {
+      if (e.feasible) return &e;
+    }
+    return nullptr;
+  }();
+
+  Table t{{"t_constraint", "HP-MRAM %", "HP-SRAM %", "LP-MRAM %", "LP-SRAM %",
+           "E_task", "E_task (norm)"}};
+  const int stride = static_cast<int>(lut->entries().size()) / 16;
+  double e_peak = 0.0;
+  if (peak_entry != nullptr) e_peak = peak_entry->predicted_task_energy.as_pj();
+  for (std::size_t i = 0; i < lut->entries().size();
+       i += static_cast<std::size_t>(stride > 0 ? stride : 1)) {
+    const auto& e = lut->entries()[i];
+    if (!e.feasible) {
+      t.add_row({e.t_constraint.to_string(), "-", "-", "-", "-", "Not Possible", "-"});
+      continue;
+    }
+    auto share = [&](Space s) {
+      return format_double(100.0 * static_cast<double>(e.alloc[s]) /
+                               static_cast<double>(K), 1);
+    };
+    t.add_row({e.t_constraint.to_string(), share(Space::kHpMram), share(Space::kHpSram),
+               share(Space::kLpMram), share(Space::kLpSram),
+               e.predicted_task_energy.to_string(),
+               format_double(e.predicted_task_energy.as_pj() / e_peak, 3)});
+  }
+  std::printf("%s", t.render().c_str());
+
+  if (peak_entry != nullptr) {
+    const double hp = static_cast<double>(peak_entry->alloc[Space::kHpSram]);
+    const double lp = static_cast<double>(peak_entry->alloc[Space::kLpSram]);
+    std::printf("peak SRAM split HP:LP = %.1f : %.1f (of 25 units; paper 16 : 9)\n",
+                25.0 * hp / (hp + lp), 25.0 * lp / (hp + lp));
+  }
+
+  // In-text claim: E_task reduction vs unoptimized (peak) allocation at the
+  // most relaxed constraint (paper: up to 43.17 %).
+  const auto& relaxed = lut->entries().back();
+  if (peak_entry != nullptr && relaxed.feasible) {
+    const Energy unopt = placement::task_dynamic_energy(cost, peak_entry->alloc) +
+                         placement::retention_energy_quantized(cost, peak_entry->alloc,
+                                                               relaxed.t_constraint);
+    std::printf("E_task at max t_constraint: optimized %s vs unoptimized %s "
+                "(-%.2f%%; paper -43.17%%)\n\n",
+                relaxed.predicted_task_energy.to_string().c_str(),
+                unopt.to_string().c_str(),
+                100.0 * (1.0 - relaxed.predicted_task_energy / unopt));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 6: memory utilization & E_task across t_constraint ==\n\n");
+  for (const auto& model : nn::zoo::paper_models()) sweep_model(model);
+  return 0;
+}

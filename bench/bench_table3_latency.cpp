@@ -1,0 +1,46 @@
+// Regenerates Table III: read/write/PE latencies of the HP (1.2 V) and LP
+// (0.8 V) modules — both the paper's constants and NVSim-lite's re-derivation
+// from voltage scaling (exact at the anchors by calibration).
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "energy/power_spec.hpp"
+#include "mem/nvsim_lite.hpp"
+
+using namespace hhpim;
+
+int main() {
+  std::printf("== Table III: latency of HP-PIM and LP-PIM modules (ns) ==\n\n");
+  const auto spec = energy::PowerSpec::paper_45nm();
+  const mem::NvsimLite model;
+  const auto derived = model.make_spec(1.2, 0.8);
+
+  Table t{{"Module", "MRAM read", "MRAM write", "SRAM read", "SRAM write", "PE"}};
+  auto row = [&](const char* name, const energy::ModuleSpec& m) {
+    t.add_row({name, format_double(m.mram_timing.read.as_ns(), 2),
+               format_double(m.mram_timing.write.as_ns(), 2),
+               format_double(m.sram_timing.read.as_ns(), 2),
+               format_double(m.sram_timing.write.as_ns(), 2),
+               format_double(m.pe.mac_latency.as_ns(), 2)});
+  };
+  row("HP-PIM (1.2V) [paper]", spec.hp);
+  row("HP-PIM (1.2V) [NVSim-lite]", derived.hp);
+  row("LP-PIM (0.8V) [paper]", spec.lp);
+  row("LP-PIM (0.8V) [NVSim-lite]", derived.lp);
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Model extrapolation at intermediate supplies:\n");
+  Table v{{"Vdd (V)", "SRAM read (ns)", "MRAM read (ns)", "MRAM write (ns)", "PE (ns)"}};
+  for (const double vdd : {1.2, 1.1, 1.0, 0.9, 0.8}) {
+    const auto s = model.evaluate({energy::MemoryKind::kSram, 64 * 1024, vdd, 45.0});
+    const auto m = model.evaluate({energy::MemoryKind::kMram, 64 * 1024, vdd, 45.0});
+    const auto pe = model.evaluate_pe(vdd);
+    v.add_row({format_double(vdd, 1), format_double(s.timing.read.as_ns(), 2),
+               format_double(m.timing.read.as_ns(), 2),
+               format_double(m.timing.write.as_ns(), 2),
+               format_double(pe.mac_latency.as_ns(), 2)});
+  }
+  std::printf("%s", v.render().c_str());
+  return 0;
+}

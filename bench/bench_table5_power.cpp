@@ -1,0 +1,47 @@
+// Regenerates Table V: power consumption across memory types in HP-PIM
+// (1.2 V) and LP-PIM (0.8 V), plus the derived per-access energies the
+// simulator charges.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "energy/power_spec.hpp"
+
+using namespace hhpim;
+
+int main() {
+  std::printf("== Table V: power consumption (mW) across memory types ==\n\n");
+  const auto spec = energy::PowerSpec::paper_45nm();
+
+  Table t{{"Module", "MRAM dyn R/W", "MRAM static", "SRAM dyn R/W", "SRAM static",
+           "PE dyn", "PE static"}};
+  auto row = [&](const char* name, const energy::ModuleSpec& m) {
+    t.add_row({name,
+               format_double(m.mram_power.dyn_read.as_mw(), 2) + " / " +
+                   format_double(m.mram_power.dyn_write.as_mw(), 2),
+               format_double(m.mram_power.leakage.as_mw(), 2),
+               format_double(m.sram_power.dyn_read.as_mw(), 2) + " / " +
+                   format_double(m.sram_power.dyn_write.as_mw(), 2),
+               format_double(m.sram_power.leakage.as_mw(), 2),
+               format_double(m.pe.dynamic.as_mw(), 2),
+               format_double(m.pe.leakage.as_mw(), 2)});
+  };
+  row("HP-PIM (1.2V)", spec.hp);
+  row("LP-PIM (0.8V)", spec.lp);
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Derived per-access energies (power x Table III latency):\n");
+  Table e{{"Module", "MRAM read (pJ)", "MRAM write (pJ)", "SRAM read (pJ)",
+           "SRAM write (pJ)", "PE MAC (pJ)"}};
+  auto erow = [&](const char* name, const energy::ModuleSpec& m) {
+    e.add_row({name, format_double(m.read_energy(energy::MemoryKind::kMram).as_pj(), 1),
+               format_double(m.write_energy(energy::MemoryKind::kMram).as_pj(), 1),
+               format_double(m.read_energy(energy::MemoryKind::kSram).as_pj(), 1),
+               format_double(m.write_energy(energy::MemoryKind::kSram).as_pj(), 1),
+               format_double(m.pe.mac_energy().as_pj(), 2)});
+  };
+  erow("HP-PIM", spec.hp);
+  erow("LP-PIM", spec.lp);
+  std::printf("%s", e.render().c_str());
+  return 0;
+}

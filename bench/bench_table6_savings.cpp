@@ -1,0 +1,47 @@
+// Regenerates Table VI: energy savings (ES) by HH-PIM for the dynamic
+// scenarios, Cases 3-6 (averaged over the three TinyML models).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace hhpim;
+using namespace hhpim::bench;
+
+int main() {
+  std::printf("== Table VI: energy savings (%%) by HH-PIM for Cases 3-6 ==\n");
+  std::printf("(50 slices; averaged over EfficientNet-B0 / MobileNetV2 / ResNet-18)\n\n");
+
+  const auto models = nn::zoo::paper_models();
+  const workload::ScenarioConfig wc;
+  const std::array<workload::Scenario, 4> cases = {
+      workload::Scenario::kPeriodicSpike, workload::Scenario::kPeriodicSpikeFrequent,
+      workload::Scenario::kPulsing, workload::Scenario::kRandom};
+  // Paper Table VI values for the same cells.
+  const double paper[4][3] = {{72.01, 55.78, 54.09},
+                              {61.46, 38.38, 47.60},
+                              {48.94, 16.89, 42.10},
+                              {59.28, 34.14, 50.52}};
+
+  Table t{{"Case", "over Baseline-PIM", "over Hetero-PIM", "over H-PIM",
+           "paper (B/He/Hy)"}};
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto loads = workload::generate(cases[ci], wc);
+    double base = 0, het = 0, hyb = 0;
+    for (const auto& model : models) {
+      const ArchSweep sweep = run_arch_sweep(model, loads);
+      base += sys::energy_saving_percent(sweep.energy[3], sweep.energy[0]);
+      het += sys::energy_saving_percent(sweep.energy[3], sweep.energy[1]);
+      hyb += sys::energy_saving_percent(sweep.energy[3], sweep.energy[2]);
+    }
+    const double n = static_cast<double>(models.size());
+    char paper_cell[48];
+    std::snprintf(paper_cell, sizeof paper_cell, "%.2f / %.2f / %.2f", paper[ci][0],
+                  paper[ci][1], paper[ci][2]);
+    t.add_row({std::string{workload::case_name(cases[ci])} + ": " +
+                   workload::to_string(cases[ci]),
+               pct(base / n), pct(het / n), pct(hyb / n), paper_cell});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Compares the four Table-I architectures on one scenario across all three
+// TinyML models: total energy, energy breakdown, deadline behaviour.
+//
+//   ./compare_architectures [--case=1..6] [--slices=20]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "hhpim/metrics.hpp"
+#include "hhpim/processor.hpp"
+#include "nn/zoo.hpp"
+#include "workload/scenario.hpp"
+
+using namespace hhpim;
+
+int main(int argc, char** argv) {
+  const Cli cli{argc, argv};
+  const int case_idx = static_cast<int>(cli.get_int("case", 5));
+  const auto scenario = workload::all_scenarios()[static_cast<std::size_t>(
+      std::max(1, std::min(6, case_idx)) - 1)];
+  workload::ScenarioConfig wc;
+  wc.slices = static_cast<int>(cli.get_int("slices", 20));
+  const auto loads = workload::generate(scenario, wc);
+
+  std::printf("scenario: %s (%s), %d slices\nload: %s\n\n", workload::case_name(scenario),
+              workload::to_string(scenario), wc.slices,
+              workload::sparkline(loads, wc.high).c_str());
+
+  for (const auto& model : nn::zoo::paper_models()) {
+    sys::SystemConfig hh_cfg;
+    hh_cfg.arch = sys::ArchConfig::hhpim();
+    sys::Processor hh{hh_cfg, model};
+    const Time slice = hh.slice_length();
+    const auto hh_run = hh.run_scenario(loads);
+
+    Table t{{"Architecture", "total energy", "dynamic", "leakage", "movement",
+             "deadline misses", "HH-PIM saves"}};
+    auto add = [&](const std::string& name, const energy::EnergyLedger& ledger,
+                   const sys::RunStats& run) {
+      t.add_row({name, run.total_energy.to_string(),
+                 ledger.dynamic_total().to_string(),
+                 ledger.total(energy::Activity::kLeakage).to_string(),
+                 ledger.total(energy::Activity::kTransfer).to_string(),
+                 std::to_string(run.deadline_violations),
+                 name == "HH-PIM"
+                     ? "-"
+                     : format_double(sys::energy_saving_percent(hh_run.total_energy,
+                                                                run.total_energy),
+                                     2) +
+                           " %"});
+    };
+
+    for (const auto& arch : {sys::ArchConfig::baseline(), sys::ArchConfig::hetero(),
+                             sys::ArchConfig::hybrid()}) {
+      sys::SystemConfig c;
+      c.arch = arch;
+      c.slice = slice;
+      sys::Processor p{c, model};
+      const auto run = p.run_scenario(loads);
+      add(arch.name, p.ledger(), run);
+    }
+    add("HH-PIM", hh.ledger(), hh_run);
+
+    std::printf("%s (T = %s):\n%s\n", model.name().c_str(), slice.to_string().c_str(),
+                t.render().c_str());
+  }
+  return 0;
+}

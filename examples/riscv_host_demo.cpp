@@ -1,0 +1,102 @@
+// Host-core demo: assembles a small RISC-V driver program that submits PIM
+// instructions through the memory-mapped instruction-queue port (the paper's
+// Rocket-over-AXI path), runs it on the RV32IM ISS, and reports what the PIM
+// cluster did.
+#include <cstdio>
+
+#include "isa/assembler.hpp"
+#include "isa/instruction.hpp"
+#include "pim/cluster.hpp"
+#include "riscv/bus.hpp"
+#include "riscv/cpu.hpp"
+#include "riscv/rv_asm.hpp"
+
+using namespace hhpim;
+
+int main() {
+  energy::EnergyLedger ledger;
+  const auto spec = energy::PowerSpec::paper_45nm();
+  pim::Cluster cluster{
+      pim::ClusterConfig{"hp", energy::ClusterKind::kHighPerformance, 4, 64 * 1024,
+                         64 * 1024},
+      spec, &ledger};
+
+  riscv::Ram ram{64 * 1024};
+  riscv::Console console;
+  Time pim_time = Time::zero();
+  riscv::PimPort port{
+      [&](std::uint32_t word) {
+        const auto inst = isa::decode(word);
+        return inst.has_value() && cluster.controller().queue().push(*inst);
+      },
+      [&] {
+        auto& q = cluster.controller().queue();
+        return (q.full() ? 1u : 0u) | (q.empty() ? 2u : 0u);
+      },
+      [&] {
+        std::vector<isa::Instruction> program;
+        while (auto inst = cluster.controller().queue().pop()) program.push_back(*inst);
+        std::printf("doorbell -> controller runs:\n%s",
+                    isa::disassemble(program).c_str());
+        cluster.controller().run_program(pim_time, program);
+        pim_time = cluster.busy_until();
+      }};
+  riscv::Bus bus;
+  bus.map(0x0000'0000, 64 * 1024, &ram);
+  bus.map(0x1000'0000, 0x100, &console);
+  bus.map(0x4000'0000, 0x100, &port);
+
+  // The driver program: announce itself on the console, push a
+  // power-up + two MAC bursts + halt sequence, ring the doorbell.
+  const std::uint32_t pwron = isa::encode(isa::make_power(0x0f, isa::MemSel::kSram, true));
+  const std::uint32_t mac_sram = isa::encode(isa::make_mac(0x0f, isa::MemSel::kSram, 4096));
+  const std::uint32_t mac_mram = isa::encode(isa::make_mac(0x03, isa::MemSel::kMram, 1024));
+  const std::uint32_t halt = isa::encode(isa::make_halt());
+
+  const std::string source = R"(
+      li s0, 0x10000000   # console
+      li s1, 0x40000000   # PIM port
+      li t0, 80           # 'P'
+      sb t0, 0(s0)
+      li t0, 73           # 'I'
+      sb t0, 0(s0)
+      li t0, 77           # 'M'
+      sb t0, 0(s0)
+      li t1, )" + std::to_string(pwron) + R"(
+      sw t1, 0(s1)
+      li t1, )" + std::to_string(mac_sram) + R"(
+      sw t1, 0(s1)
+      li t1, )" + std::to_string(mac_mram) + R"(
+      sw t1, 0(s1)
+      li t1, )" + std::to_string(halt) + R"(
+      sw t1, 0(s1)
+      sw zero, 8(s1)      # doorbell
+      lw a0, 4(s1)        # status
+      ecall
+  )";
+
+  const auto assembled = riscv::assemble_rv32(source);
+  if (std::holds_alternative<riscv::RvAsmError>(assembled)) {
+    const auto& e = std::get<riscv::RvAsmError>(assembled);
+    std::fprintf(stderr, "asm error at line %zu: %s\n", e.line, e.message.c_str());
+    return 1;
+  }
+  const auto& words = std::get<std::vector<std::uint32_t>>(assembled);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    ram.store(static_cast<std::uint32_t>(i * 4), 4, words[i]);
+  }
+
+  riscv::Cpu cpu{&bus};
+  const auto retired = cpu.run();
+  std::printf("\ncore: %llu instructions retired, console: \"%s\", status=0x%x\n",
+              static_cast<unsigned long long>(retired), console.output().c_str(),
+              cpu.reg(10));
+  for (std::size_t i = 0; i < cluster.module_count(); ++i) {
+    std::printf("module %zu: %llu MACs, busy until %s\n", i,
+                static_cast<unsigned long long>(cluster.module(i).total_macs()),
+                cluster.module(i).busy_until().to_string().c_str());
+  }
+  cluster.settle(pim_time);
+  std::printf("PIM energy: %s\n", ledger.total().to_string().c_str());
+  return 0;
+}

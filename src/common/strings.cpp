@@ -1,0 +1,76 @@
+#include "common/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "common/units.hpp"
+
+namespace hhpim {
+
+std::string trim(std::string_view s) {
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  while (begin != end && std::isspace(static_cast<unsigned char>(*begin)) != 0) ++begin;
+  while (end != begin && std::isspace(static_cast<unsigned char>(*(end - 1))) != 0) --end;
+  return std::string{begin, end};
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out{s};
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_si(double v, int precision, std::string_view unit) {
+  struct Scale { double factor; const char* prefix; };
+  static constexpr Scale kScales[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+  };
+  const double mag = std::abs(v);
+  for (const auto& s : kScales) {
+    if (mag >= s.factor || (&s == &kScales[std::size(kScales) - 1])) {
+      return format_double(v / s.factor, precision) + " " + s.prefix + std::string{unit};
+    }
+  }
+  return format_double(v, precision) + " " + std::string{unit};
+}
+
+std::string Time::to_string() const {
+  const double ns = as_ns();
+  return format_si(ns * 1e-9, 3, "s");
+}
+
+std::string Energy::to_string() const {
+  return format_si(as_pj() * 1e-12, 3, "J");
+}
+
+std::string Power::to_string() const {
+  return format_si(as_mw() * 1e-3, 3, "W");
+}
+
+}  // namespace hhpim

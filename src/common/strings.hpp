@@ -1,0 +1,27 @@
+// Small string helpers shared by the assembler, CLI parser and table printer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hhpim {
+
+/// Strips leading and trailing whitespace.
+[[nodiscard]] std::string trim(std::string_view s);
+
+/// Splits on a delimiter; keeps empty fields ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Fixed-precision decimal rendering ("3.142").
+[[nodiscard]] std::string format_double(double v, int precision);
+
+/// Engineering notation with an SI prefix ("1.234 mJ", "42.000 ns").
+/// `v` is in base units (seconds, joules, ...).
+[[nodiscard]] std::string format_si(double v, int precision, std::string_view unit);
+
+}  // namespace hhpim

@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace hhpim {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void Table::add_rule() { pending_rule_ = true; }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (const auto w : width) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  }();
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::ostringstream out;
+  out << rule << render_row(header_) << rule;
+  for (const auto& row : rows_) {
+    if (row.rule_before) out << rule;
+    out << render_row(row.cells);
+  }
+  out << rule;
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) { return os << t.render(); }
+
+}  // namespace hhpim

@@ -1,0 +1,41 @@
+// ASCII table printer used by the benchmark binaries to regenerate the
+// paper's tables in a diff-friendly fixed layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hhpim {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+///
+///   Table t{{"Arch", "Energy"}};
+///   t.add_row({"HH-PIM", "1.23 mJ"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with `|`-separated columns, padded to the widest cell.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace hhpim

@@ -1,0 +1,111 @@
+// Energy ledger: the single place where every joule in a simulation is
+// accounted. Components register once, then post dynamic energy per event and
+// leakage per powered interval. Benches query totals and per-category
+// breakdowns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hhpim::energy {
+
+/// What kind of work consumed the energy.
+enum class Activity : std::uint8_t {
+  kMemRead = 0,
+  kMemWrite,
+  kCompute,
+  kTransfer,   // inter-module / NoC data movement
+  kControl,    // controller & instruction handling
+  kLeakage,
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(Activity a);
+
+/// Opaque handle returned by EnergyLedger::register_component.
+class ComponentId {
+ public:
+  ComponentId() = default;
+  [[nodiscard]] bool valid() const { return idx_ != kInvalid; }
+
+ private:
+  friend class EnergyLedger;
+  explicit ComponentId(std::uint32_t idx) : idx_(idx) {}
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t idx_ = kInvalid;
+};
+
+class EnergyLedger {
+ public:
+  /// Registers a named component (e.g. "hp0.sram"). Names need not be unique,
+  /// but unique names make breakdown tables readable.
+  ComponentId register_component(std::string name);
+
+  /// Posts dynamic energy consumed by one or more events.
+  void add(ComponentId c, Activity a, Energy e);
+
+  /// Posts leakage: power integrated over a powered-on interval.
+  void add_leakage(ComponentId c, Power p, Time duration) {
+    add(c, Activity::kLeakage, p * duration);
+  }
+
+  [[nodiscard]] Energy total() const;
+  [[nodiscard]] Energy total(Activity a) const;
+  [[nodiscard]] Energy component_total(ComponentId c) const;
+  [[nodiscard]] Energy component_total(ComponentId c, Activity a) const;
+  /// Sum over all activities except leakage.
+  [[nodiscard]] Energy dynamic_total() const;
+
+  [[nodiscard]] std::size_t component_count() const { return names_.size(); }
+  [[nodiscard]] const std::string& component_name(std::size_t idx) const { return names_[idx]; }
+  [[nodiscard]] Energy component_total_by_index(std::size_t idx, Activity a) const;
+
+  /// Renders a per-component, per-activity breakdown table.
+  [[nodiscard]] std::string breakdown() const;
+
+  void reset();
+
+ private:
+  static constexpr std::size_t kActivities = static_cast<std::size_t>(Activity::kCount);
+  std::vector<std::string> names_;
+  std::vector<double> pj_;  // names_.size() * kActivities, row-major
+};
+
+/// Tracks the powered intervals of one leaky component and posts the
+/// integrated leakage to the ledger. Power-gating a component simply means
+/// calling power_off(); non-volatile memories keep their contents, volatile
+/// ones must be told they lost them by the owner.
+class LeakageTracker {
+ public:
+  LeakageTracker(EnergyLedger* ledger, ComponentId id, Power leakage);
+
+  /// Marks the component powered from `now` on. No-op if already on.
+  void power_on(Time now);
+  /// Marks the component gated from `now` on, accumulating the elapsed
+  /// on-interval. No-op if already off.
+  void power_off(Time now);
+  /// Closes the current interval at `now` (call at end of simulation or when
+  /// reading totals mid-run). The component stays in its current state.
+  void settle(Time now);
+
+  /// Changes the leakage power from `now` on (e.g. a macro powering a subset
+  /// of its banks). Settles the elapsed interval at the old power first.
+  void set_power(Power leakage, Time now);
+
+  [[nodiscard]] bool is_on() const { return on_; }
+  [[nodiscard]] Time total_on_time() const { return total_on_; }
+  [[nodiscard]] Power leakage() const { return leakage_; }
+
+ private:
+  EnergyLedger* ledger_;
+  ComponentId id_;
+  Power leakage_;
+  bool on_ = false;
+  Time on_since_ = Time::zero();
+  Time total_on_ = Time::zero();
+};
+
+}  // namespace hhpim::energy

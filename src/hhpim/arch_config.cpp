@@ -1,0 +1,45 @@
+#include "hhpim/arch_config.hpp"
+
+namespace hhpim::sys {
+
+const char* to_string(ArchKind k) {
+  switch (k) {
+    case ArchKind::kBaseline: return "Baseline-PIM";
+    case ArchKind::kHetero: return "Heterogeneous-PIM";
+    case ArchKind::kHybrid: return "Hybrid-PIM";
+    case ArchKind::kHhpim: return "HH-PIM";
+  }
+  return "?";
+}
+
+ArchConfig ArchConfig::baseline() {
+  return ArchConfig{ArchKind::kBaseline, "Baseline-PIM", 8, 0, 0, 128};
+}
+
+ArchConfig ArchConfig::hetero() {
+  return ArchConfig{ArchKind::kHetero, "Heterogeneous-PIM", 4, 4, 0, 128};
+}
+
+ArchConfig ArchConfig::hybrid() {
+  return ArchConfig{ArchKind::kHybrid, "Hybrid-PIM", 8, 0, 64, 64};
+}
+
+ArchConfig ArchConfig::hhpim() {
+  return ArchConfig{ArchKind::kHhpim, "HH-PIM", 4, 4, 64, 64};
+}
+
+std::array<ArchConfig, 4> ArchConfig::paper_table1() {
+  return {baseline(), hetero(), hybrid(), hhpim()};
+}
+
+placement::ClusterShape ArchConfig::hp_shape() const {
+  return placement::ClusterShape{hp_modules, mram_kb_per_module * 1024,
+                                 sram_kb_per_module * 1024};
+}
+
+placement::ClusterShape ArchConfig::lp_shape() const {
+  return placement::ClusterShape{lp_modules, mram_kb_per_module * 1024,
+                                 sram_kb_per_module * 1024};
+}
+
+}  // namespace hhpim::sys

@@ -1,0 +1,41 @@
+// Architecture configurations (paper Table I):
+//
+//   Baseline-PIM       : 8 HP modules, 128 kB SRAM each
+//   Heterogeneous-PIM  : 4 HP + 4 LP modules, 128 kB SRAM each
+//   Hybrid-PIM         : 8 HP modules, 64 kB MRAM + 64 kB SRAM each
+//   HH-PIM             : 4 HP + 4 LP modules, 64 kB MRAM + 64 kB SRAM each
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "placement/cost_model.hpp"
+
+namespace hhpim::sys {
+
+enum class ArchKind : std::uint8_t { kBaseline = 0, kHetero, kHybrid, kHhpim };
+
+[[nodiscard]] const char* to_string(ArchKind k);
+
+struct ArchConfig {
+  ArchKind kind = ArchKind::kHhpim;
+  std::string name = "HH-PIM";
+  std::size_t hp_modules = 4;
+  std::size_t lp_modules = 4;
+  std::size_t mram_kb_per_module = 64;  ///< 0 = no MRAM
+  std::size_t sram_kb_per_module = 64;
+
+  [[nodiscard]] static ArchConfig baseline();
+  [[nodiscard]] static ArchConfig hetero();
+  [[nodiscard]] static ArchConfig hybrid();
+  [[nodiscard]] static ArchConfig hhpim();
+  /// All four in Table I order.
+  [[nodiscard]] static std::array<ArchConfig, 4> paper_table1();
+
+  [[nodiscard]] placement::ClusterShape hp_shape() const;
+  [[nodiscard]] placement::ClusterShape lp_shape() const;
+  [[nodiscard]] std::size_t total_modules() const { return hp_modules + lp_modules; }
+};
+
+}  // namespace hhpim::sys

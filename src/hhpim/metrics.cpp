@@ -1,0 +1,21 @@
+#include "hhpim/metrics.hpp"
+
+namespace hhpim::sys {
+
+double energy_saving_percent(Energy ours, Energy reference) {
+  if (reference.as_pj() <= 0.0) return 0.0;
+  return (1.0 - ours / reference) * 100.0;
+}
+
+CellResult run_cell(const SystemConfig& config, const nn::Model& model,
+                    const std::vector<int>& loads) {
+  Processor proc{config, model};
+  const RunStats run = proc.run_scenario(loads);
+  CellResult r;
+  r.arch = config.arch.name;
+  r.energy = run.total_energy;
+  r.deadline_violations = run.deadline_violations;
+  return r;
+}
+
+}  // namespace hhpim::sys

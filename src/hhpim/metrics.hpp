@@ -1,0 +1,28 @@
+// Energy-saving metrics and report formatting for the benchmark harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hhpim/processor.hpp"
+
+namespace hhpim::sys {
+
+/// Energy saving of `ours` relative to `reference`, in percent
+/// (paper metric: ES = (1 - E_ours / E_ref) * 100).
+[[nodiscard]] double energy_saving_percent(Energy ours, Energy reference);
+
+/// One architecture's result on one (model, scenario) cell.
+struct CellResult {
+  std::string arch;
+  Energy energy;
+  std::uint64_t deadline_violations = 0;
+};
+
+/// Runs a scenario for one architecture+model and returns total energy.
+/// Fresh processor per call (steady-state measurement).
+[[nodiscard]] CellResult run_cell(const SystemConfig& config, const nn::Model& model,
+                                  const std::vector<int>& loads);
+
+}  // namespace hhpim::sys

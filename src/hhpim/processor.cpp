@@ -1,0 +1,292 @@
+#include "hhpim/processor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hhpim::sys {
+
+using energy::ClusterKind;
+using energy::MemoryKind;
+using placement::Allocation;
+using placement::Space;
+
+Energy RunStats::mean_slice_energy() const {
+  if (slices.empty()) return Energy::zero();
+  return total_energy / static_cast<double>(slices.size());
+}
+
+Processor::Processor(const SystemConfig& config, const nn::Model& model)
+    : config_(config),
+      spec_(energy::PowerSpec::paper_45nm().scaled(config.time_scale)),
+      weights_(model.effective_params()),
+      pim_macs_(model.pim_macs()),
+      cost_(placement::CostModel::build(spec_, config.arch.hp_shape(),
+                                        config.arch.lp_shape(), model.uses_per_weight())) {
+  const ArchConfig& arch = config_.arch;
+
+  if (arch.hp_modules > 0) {
+    pim::ClusterConfig cc;
+    cc.name = "hp";
+    cc.kind = ClusterKind::kHighPerformance;
+    cc.module_count = arch.hp_modules;
+    cc.mram_bytes_per_module = arch.mram_kb_per_module * 1024;
+    cc.sram_bytes_per_module = arch.sram_kb_per_module * 1024;
+    hp_.emplace(cc, spec_, &ledger_);
+  }
+  if (arch.lp_modules > 0) {
+    pim::ClusterConfig cc;
+    cc.name = "lp";
+    cc.kind = ClusterKind::kLowPower;
+    cc.module_count = arch.lp_modules;
+    cc.mram_bytes_per_module = arch.mram_kb_per_module * 1024;
+    cc.sram_bytes_per_module = arch.sram_kb_per_module * 1024;
+    lp_.emplace(cc, spec_, &ledger_);
+  }
+
+  pim::DataAllocatorConfig xc;
+  xc.name = "xcluster";
+  xc.bytes_per_ns_per_module = config_.movement.bytes_per_ns_per_module;
+  xc.interface_latency = config_.movement.interface_latency;
+  xc.energy_per_byte = config_.movement.energy_per_byte;
+  const std::size_t lanes = std::max<std::size_t>(
+      1, std::min(arch.hp_modules == 0 ? arch.lp_modules : arch.hp_modules,
+                  arch.lp_modules == 0 ? arch.hp_modules : arch.lp_modules));
+  xfer_ = std::make_unique<pim::DataAllocator>(xc, lanes, &ledger_);
+
+  // Slice length: T = N_max * peak task time (paper: up to 10 inferences per
+  // slice at HH-PIM peak performance), plus the 1 % margin the paper reserves
+  // for runtime overheads (its optimizer budget is "1 % of each time slice").
+  slice_ = config_.slice > Time::zero()
+               ? config_.slice
+               : peak_task_time() *
+                     static_cast<std::int64_t>(config_.max_inferences_per_slice) * 1.01;
+
+  // Placement policy per architecture.
+  switch (arch.kind) {
+    case ArchKind::kBaseline: {
+      Allocation a;
+      a[Space::kHpSram] = weights_;
+      if (!placement::fits(cost_, a)) {
+        throw std::invalid_argument("Baseline-PIM: model does not fit in SRAM");
+      }
+      policy_ = std::make_unique<StaticPolicy>(a, slice_);
+      break;
+    }
+    case ArchKind::kHetero: {
+      const Allocation a = balanced_sram_split(cost_, weights_);
+      policy_ = std::make_unique<StaticPolicy>(a, slice_);
+      break;
+    }
+    case ArchKind::kHybrid: {
+      Allocation a;
+      a[Space::kHpMram] = weights_;
+      if (!placement::fits(cost_, a)) {
+        throw std::invalid_argument("Hybrid-PIM: model does not fit in MRAM");
+      }
+      policy_ = std::make_unique<StaticPolicy>(a, slice_);
+      break;
+    }
+    case ArchKind::kHhpim: {
+      placement::LutParams lp;
+      lp.slice = slice_;
+      lp.total_weights = weights_;
+      lp.t_entries = config_.lut_t_entries;
+      lp.k_blocks = config_.lut_k_blocks;
+      auto lut = placement::AllocationLut::build(cost_, lp);
+      auto policy = std::make_unique<DynamicLutPolicy>(std::move(lut), cost_,
+                                                       config_.movement);
+      lut_view_ = &policy->lut();
+      policy_ = std::move(policy);
+      break;
+    }
+  }
+
+  // Initial deployment: weights appear in their initial residency. The
+  // one-time provisioning cost (identical for all architectures) is not
+  // charged, matching the paper's steady-state measurements.
+  current_ = policy_->initial();
+  apply_residency(current_);
+}
+
+const placement::AllocationLut* Processor::lut() const { return lut_view_; }
+
+pim::Cluster* Processor::cluster_of(Space s) {
+  const bool hp = placement::cluster_of(s) == ClusterKind::kHighPerformance;
+  if (hp) return hp_.has_value() ? &*hp_ : nullptr;
+  return lp_.has_value() ? &*lp_ : nullptr;
+}
+
+Time Processor::peak_task_time() const {
+  // Fastest placement: latency-balanced across the SRAMs of both clusters
+  // (weights may live in SRAM at peak — the core HH-PIM capability).
+  const Allocation a = balanced_sram_split(cost_, weights_);
+  return placement::task_time(cost_, a);
+}
+
+Time Processor::mram_only_task_time() const {
+  if (config_.arch.mram_kb_per_module == 0) return Time::zero();
+  // Balanced across the MRAM of both clusters (or all in HP-MRAM when there
+  // is no LP cluster).
+  const auto& hp = cost_.at(Space::kHpMram);
+  const auto& lp = cost_.at(Space::kLpMram);
+  Allocation a;
+  if (lp.capacity_weights == 0) {
+    a[Space::kHpMram] = weights_;
+  } else {
+    const double t_hp = static_cast<double>(hp.time_per_weight.as_ps());
+    const double t_lp = static_cast<double>(lp.time_per_weight.as_ps());
+    const auto x_hp = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(weights_) * t_lp / (t_hp + t_lp)));
+    a[Space::kHpMram] = x_hp;
+    a[Space::kLpMram] = weights_ - x_hp;
+  }
+  return placement::task_time(cost_, a);
+}
+
+void Processor::apply_residency(const Allocation& alloc) {
+  for (const Space s : placement::all_spaces()) {
+    pim::Cluster* c = cluster_of(s);
+    if (c == nullptr) continue;
+    if (placement::memory_of(s) == MemoryKind::kMram &&
+        config_.arch.mram_kb_per_module == 0) {
+      continue;
+    }
+    c->distribute_resident(placement::memory_of(s), alloc[s], now_);
+  }
+}
+
+void Processor::apply_movement(const placement::MovementPlan& plan) {
+  std::vector<pim::TransferRequest> requests;
+  for (std::size_t src = 0; src < placement::kSpaceCount; ++src) {
+    for (std::size_t dst = 0; dst < placement::kSpaceCount; ++dst) {
+      const std::uint64_t w = plan.moved[src][dst];
+      if (w == 0) continue;
+      const Space s = static_cast<Space>(src);
+      const Space d = static_cast<Space>(dst);
+      pim::Cluster* cs = cluster_of(s);
+      pim::Cluster* cd = cluster_of(d);
+      if (cs == nullptr || cd == nullptr) {
+        throw std::logic_error("movement through a non-existent cluster");
+      }
+      // Split the stream across module lanes.
+      const std::size_t lanes = std::min(cs->module_count(), cd->module_count());
+      const std::uint64_t base = w / lanes;
+      const std::uint64_t extra = w % lanes;
+      for (std::size_t i = 0; i < lanes; ++i) {
+        const std::uint64_t share = base + (i < extra ? 1 : 0);
+        if (share == 0) continue;
+        pim::TransferRequest r;
+        r.src = &cs->module(i);
+        r.src_mem = placement::memory_of(s);
+        r.dst = cs == cd ? &cd->module(i) : &cd->module(i % cd->module_count());
+        r.dst_mem = placement::memory_of(d);
+        r.weights = share;
+        requests.push_back(r);
+      }
+    }
+  }
+  if (!requests.empty()) xfer_->execute(now_, requests);
+}
+
+Time Processor::run_task(Time start) {
+  Time done = start;
+  const std::uint64_t total = current_.total();
+  if (total == 0 || pim_macs_ == 0) return done;
+
+  for (const Space s : placement::all_spaces()) {
+    const std::uint64_t w = current_[s];
+    if (w == 0) continue;
+    pim::Cluster* c = cluster_of(s);
+    if (c == nullptr) continue;
+    const auto macs = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(pim_macs_) * static_cast<double>(w) /
+        static_cast<double>(total)));
+    if (macs == 0) continue;
+    // compute() starts each module at max(start, module busy) — the MRAM and
+    // SRAM shares of a module serialize automatically.
+    done = std::max(done, c->compute(start, placement::memory_of(s), macs));
+  }
+  return done;
+}
+
+SliceStats Processor::run_slice(int n_tasks) {
+  const Time slice_start = now_;
+  const Time slice_end = slice_start + slice_;
+  const Energy before = ledger_.total();
+
+  const SliceDecision d = policy_->decide(current_, n_tasks);
+  if (!(d.alloc == current_) && d.plan.total() > 0) {
+    apply_movement(d.plan);
+    // Residency flips after the data lands.
+    apply_residency(d.alloc);
+    current_ = d.alloc;
+  } else if (!(d.alloc == current_)) {
+    apply_residency(d.alloc);
+    current_ = d.alloc;
+  }
+
+  Time cursor = std::max(now_, hp_.has_value() ? hp_->busy_until() : Time::zero());
+  if (lp_.has_value()) cursor = std::max(cursor, lp_->busy_until());
+
+  for (int i = 0; i < n_tasks; ++i) {
+    cursor = run_task(cursor);
+  }
+
+  SliceStats stats;
+  stats.slice = slice_index_++;
+  stats.tasks_executed = n_tasks;
+  stats.alloc = current_;
+  stats.movement_time = d.movement_time;
+  stats.busy_time = cursor - slice_start;
+  stats.deadline_violated = cursor > slice_end;
+
+  // The slice boundary: close leakage windows so the slice's energy is
+  // attributed to it, then advance the clock.
+  now_ = std::max(slice_end, cursor);
+  if (hp_.has_value()) hp_->settle(now_);
+  if (lp_.has_value()) lp_->settle(now_);
+  stats.energy = ledger_.total() - before;
+  return stats;
+}
+
+RunStats Processor::run_scenario(const std::vector<int>& loads) {
+  RunStats run;
+  const Energy before = ledger_.total();
+  const Time t0 = now_;
+
+  // Slice k executes the inferences that arrived in slice k-1; one trailing
+  // slice drains the last arrivals.
+  int buffered = 0;
+  for (std::size_t k = 0; k <= loads.size(); ++k) {
+    const int arriving = k < loads.size() ? loads[k] : 0;
+    SliceStats s = run_slice(buffered);
+    run.tasks += static_cast<std::uint64_t>(s.tasks_executed);
+    run.deadline_violations += s.deadline_violated ? 1 : 0;
+    run.slices.push_back(std::move(s));
+    buffered = arriving;
+  }
+  run.total_energy = ledger_.total() - before;
+  run.total_time = now_ - t0;
+  return run;
+}
+
+Inventory Processor::inventory() const {
+  Inventory inv;
+  inv.hp_modules = config_.arch.hp_modules;
+  inv.lp_modules = config_.arch.lp_modules;
+  const std::size_t total = inv.hp_modules + inv.lp_modules;
+  inv.mram_banks = config_.arch.mram_kb_per_module > 0 ? total : 0;
+  inv.sram_banks = total;
+  inv.pes = total;
+  inv.controllers = (hp_.has_value() ? 1 : 0) + (lp_.has_value() ? 1 : 0);
+  inv.mram_bytes = static_cast<std::uint64_t>(inv.mram_banks) *
+                   config_.arch.mram_kb_per_module * 1024;
+  inv.sram_bytes = static_cast<std::uint64_t>(inv.sram_banks) *
+                   config_.arch.sram_kb_per_module * 1024;
+  inv.instruction_queue_depth =
+      hp_.has_value() ? hp_->controller().queue().depth() : 0;
+  return inv;
+}
+
+}  // namespace hhpim::sys

@@ -1,0 +1,131 @@
+// The PIM processor (Fig. 3): clusters + controllers + data allocator +
+// energy accounting, executing a scenario of time slices.
+//
+// Slice protocol (paper §III-A): inferences arriving during slice k are
+// buffered and processed in slice k+1, so end-to-end latency stays below 2T.
+// At each slice boundary the placement policy decides the allocation; weight
+// movement executes first (its overhead was budgeted into t_constraint), then
+// the buffered tasks run back-to-back, each split across clusters per the
+// allocation — the MRAM share and SRAM share of a module serialize, modules
+// and clusters run in parallel.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "energy/ledger.hpp"
+#include "energy/power_spec.hpp"
+#include "hhpim/arch_config.hpp"
+#include "hhpim/scheduler.hpp"
+#include "nn/model.hpp"
+#include "pim/cluster.hpp"
+#include "pim/data_allocator.hpp"
+#include "placement/cost_model.hpp"
+#include "placement/lut.hpp"
+#include "workload/task.hpp"
+
+namespace hhpim::sys {
+
+struct SystemConfig {
+  ArchConfig arch = ArchConfig::hhpim();
+  /// System time-base stretch vs raw Table III latencies (see
+  /// PowerSpec::scaled and DESIGN.md §3). Calibrated default.
+  double time_scale = 4.0;
+  /// Up-to-N inferences per slice at peak (paper: 10). Sets T.
+  int max_inferences_per_slice = 10;
+  /// Explicit slice length; zero = derive as max_inferences * peak task time.
+  Time slice = Time::zero();
+  /// LUT resolution (HH-PIM only).
+  int lut_t_entries = 128;
+  int lut_k_blocks = 128;
+  placement::MovementParams movement{};
+};
+
+/// Per-slice measurement record.
+struct SliceStats {
+  int slice = 0;
+  int tasks_executed = 0;
+  placement::Allocation alloc;
+  Time movement_time;
+  Time busy_time;              ///< from slice start to last task completion
+  Energy energy;               ///< everything charged during this slice
+  bool deadline_violated = false;
+};
+
+struct RunStats {
+  std::vector<SliceStats> slices;
+  Energy total_energy;
+  std::uint64_t tasks = 0;
+  std::uint64_t deadline_violations = 0;
+  Time total_time;
+
+  [[nodiscard]] Energy mean_slice_energy() const;
+};
+
+/// Component inventory — our substitute for the paper's Table II (FPGA
+/// resource usage has no simulator equivalent; see DESIGN.md).
+struct Inventory {
+  std::size_t hp_modules = 0, lp_modules = 0;
+  std::size_t mram_banks = 0, sram_banks = 0, pes = 0, controllers = 0;
+  std::uint64_t mram_bytes = 0, sram_bytes = 0;
+  std::size_t instruction_queue_depth = 0;
+};
+
+class Processor {
+ public:
+  Processor(const SystemConfig& config, const nn::Model& model);
+
+  /// Executes one slice: runs `n_tasks` buffered inferences. Advances the
+  /// internal clock by (at least) one slice.
+  SliceStats run_slice(int n_tasks);
+
+  /// Executes a whole scenario: loads[k] inferences arrive in slice k and
+  /// execute in slice k+1; one trailing slice drains the buffer.
+  RunStats run_scenario(const std::vector<int>& loads);
+
+  [[nodiscard]] Time slice_length() const { return slice_; }
+  [[nodiscard]] const placement::CostModel& cost_model() const { return cost_; }
+  [[nodiscard]] const energy::EnergyLedger& ledger() const { return ledger_; }
+  [[nodiscard]] const placement::Allocation& current_allocation() const { return current_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  /// The LUT (HH-PIM only; nullptr otherwise).
+  [[nodiscard]] const placement::AllocationLut* lut() const;
+
+  /// Minimum achievable task time (peak performance point).
+  [[nodiscard]] Time peak_task_time() const;
+  /// Task time with weights only in MRAM (the H-PIM-style purple point of
+  /// Fig. 6); returns zero for architectures without MRAM.
+  [[nodiscard]] Time mram_only_task_time() const;
+
+  [[nodiscard]] Inventory inventory() const;
+
+ private:
+  void apply_movement(const placement::MovementPlan& plan);
+  void apply_residency(const placement::Allocation& alloc);
+  /// Runs one task under the current placement starting at `start`;
+  /// returns its completion time.
+  Time run_task(Time start);
+
+  [[nodiscard]] pim::Cluster* cluster_of(placement::Space s);
+
+  SystemConfig config_;
+  energy::PowerSpec spec_;
+  std::uint64_t weights_;       ///< K
+  std::uint64_t pim_macs_;      ///< per task
+  placement::CostModel cost_;
+  Time slice_;
+  energy::EnergyLedger ledger_;
+  std::optional<pim::Cluster> hp_;
+  std::optional<pim::Cluster> lp_;
+  std::unique_ptr<pim::DataAllocator> xfer_;   ///< inter-cluster path
+  std::unique_ptr<PlacementPolicy> policy_;
+  const placement::AllocationLut* lut_view_ = nullptr;
+  placement::Allocation current_;
+  Time now_ = Time::zero();
+  int slice_index_ = 0;
+};
+
+}  // namespace hhpim::sys

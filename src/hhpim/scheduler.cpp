@@ -1,0 +1,136 @@
+#include "hhpim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace hhpim::sys {
+
+using placement::Allocation;
+using placement::Space;
+
+StaticPolicy::StaticPolicy(Allocation fixed, Time slice)
+    : fixed_(fixed), slice_(slice) {}
+
+SliceDecision StaticPolicy::decide(const Allocation& current, int n_tasks) {
+  SliceDecision d;
+  d.alloc = fixed_;
+  d.plan = placement::plan_movement(current, fixed_);  // non-empty only at startup
+  d.movement_time = Time::zero();
+  d.movement_energy = Energy::zero();
+  d.t_constraint = n_tasks > 0 ? slice_ / n_tasks : slice_;
+  return d;
+}
+
+DynamicLutPolicy::DynamicLutPolicy(placement::AllocationLut lut,
+                                   placement::CostModel model,
+                                   placement::MovementParams movement)
+    : lut_(std::move(lut)), model_(model), movement_(movement) {
+  std::uint64_t total = 0;
+  if (!lut_.entries().empty()) total = lut_.entries().back().alloc.total();
+  peak_ = balanced_sram_split(model_, total);
+}
+
+Allocation DynamicLutPolicy::initial() {
+  // Start from the most relaxed entry: the minimum-energy parking placement.
+  return lut_.entries().back().alloc;
+}
+
+SliceDecision DynamicLutPolicy::decide(const Allocation& current, int n_tasks) {
+  SliceDecision d;
+  const Time slice = lut_.slice();
+
+  if (n_tasks == 0) {
+    // Idle slice: park the weights in the most energy-efficient placement
+    // (everything power-gateable), if the move pays for itself in leakage.
+    d.alloc = lut_.entries().back().alloc;
+    d.plan = placement::plan_movement(current, d.alloc);
+    const auto cost = placement::estimate_movement(model_, d.plan, movement_);
+    d.movement_time = cost.time;
+    d.movement_energy = cost.energy;
+    d.t_constraint = slice;
+    return d;
+  }
+
+  // Fixed-point iteration on the movement overhead (paper §III-B: the
+  // runtime t_constraint accounts for the transition from the previous
+  // allocation). A few rounds suffice: the overhead shrinks monotonically as
+  // the constraint tightens toward placements nearer the current one.
+  Allocation chosen;
+  placement::MovementPlan plan;
+  Time move_time = Time::zero();
+  Energy move_energy = Energy::zero();
+  Time tc = slice / n_tasks;
+  bool have_choice = false;
+  for (int iter = 0; iter < 3; ++iter) {
+    // When tc sits left of (or quantizes below) the LUT's peak boundary, use
+    // the exact peak-performance placement — the hardware simply runs as
+    // fast as it can (left of it is the paper's grey "Not Possible" region).
+    const placement::LutEntry& floor_entry = lut_.lookup(tc);
+    const placement::Allocation& target =
+        floor_entry.feasible ? floor_entry.alloc : peak_;
+    plan = placement::plan_movement(current, target);
+    const auto cost = placement::estimate_movement(model_, plan, movement_);
+    const Time budget = slice - cost.time;
+    const Time new_tc = budget > Time::zero() ? budget / n_tasks : Time::ps(1);
+    chosen = target;
+    move_time = cost.time;
+    move_energy = cost.energy;
+    have_choice = true;
+    // Feasibility of the final choice: movement plus n tasks within T.
+    d.feasible = placement::task_time(model_, chosen) <= new_tc;
+    if (new_tc == tc) break;
+    tc = new_tc;
+  }
+
+  if (!have_choice) {
+    // Whole table infeasible (cannot happen with a sane T, but stay safe):
+    // keep the current placement.
+    d.alloc = current;
+    d.t_constraint = slice / n_tasks;
+    d.feasible = false;
+    return d;
+  }
+
+  d.alloc = chosen;
+  d.plan = plan;
+  d.movement_time = move_time;
+  d.movement_energy = move_energy;
+  d.t_constraint = tc;
+  return d;
+}
+
+Allocation balanced_sram_split(const placement::CostModel& m, std::uint64_t total) {
+  const auto& hp = m.at(Space::kHpSram);
+  const auto& lp = m.at(Space::kLpSram);
+  Allocation best;
+  if (lp.capacity_weights == 0) {
+    best[Space::kHpSram] = total;
+    return best;
+  }
+  // Continuous optimum, then check the two neighbouring integers.
+  const double t_hp = static_cast<double>(hp.time_per_weight.as_ps());
+  const double t_lp = static_cast<double>(lp.time_per_weight.as_ps());
+  const double x_star = static_cast<double>(total) * t_lp / (t_hp + t_lp);
+  auto time_of = [&](std::uint64_t x_hp) {
+    Allocation a;
+    a[Space::kHpSram] = x_hp;
+    a[Space::kLpSram] = total - x_hp;
+    return placement::task_time(m, a);
+  };
+  std::uint64_t best_x = std::min<std::uint64_t>(
+      total, static_cast<std::uint64_t>(x_star));
+  Time best_t = time_of(best_x);
+  for (const std::int64_t d : {-1, 1, 2}) {
+    const std::int64_t cand = static_cast<std::int64_t>(best_x) + d;
+    if (cand < 0 || cand > static_cast<std::int64_t>(total)) continue;
+    const Time t = time_of(static_cast<std::uint64_t>(cand));
+    if (t < best_t) {
+      best_t = t;
+      best_x = static_cast<std::uint64_t>(cand);
+    }
+  }
+  best[Space::kHpSram] = best_x;
+  best[Space::kLpSram] = total - best_x;
+  return best;
+}
+
+}  // namespace hhpim::sys

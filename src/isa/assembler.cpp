@@ -1,0 +1,184 @@
+#include "isa/assembler.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace hhpim::isa {
+
+namespace {
+
+struct Mnemonic {
+  const char* name;
+  Category category;
+  std::uint8_t opcode;
+  bool takes_imm;
+};
+
+constexpr Mnemonic kMnemonics[] = {
+    {"mac", Category::kCompute, 0, true},
+    {"gemv", Category::kCompute, 1, true},
+    {"relu", Category::kCompute, 2, true},
+    {"requant", Category::kCompute, 3, true},
+    {"load", Category::kDataMove, 0, true},
+    {"store", Category::kDataMove, 1, true},
+    {"xferout", Category::kDataMove, 2, true},
+    {"xferin", Category::kDataMove, 3, true},
+    {"intra", Category::kDataMove, 4, true},
+    {"pwron", Category::kConfig, 0, false},
+    {"pwroff", Category::kConfig, 1, false},
+    {"setbase", Category::kConfig, 2, true},
+    {"setstride", Category::kConfig, 3, true},
+    {"nop", Category::kSync, 0, false},
+    {"barrier", Category::kSync, 1, false},
+    {"fence", Category::kSync, 2, false},
+    {"halt", Category::kSync, 3, false},
+};
+
+const Mnemonic* find_mnemonic(std::string_view name) {
+  for (const auto& m : kMnemonics) {
+    if (name == m.name) return &m;
+  }
+  return nullptr;
+}
+
+bool parse_mem(std::string_view suffix, MemSel* out) {
+  if (suffix == "mram") { *out = MemSel::kMram; return true; }
+  if (suffix == "sram") { *out = MemSel::kSram; return true; }
+  if (suffix == "both") { *out = MemSel::kBoth; return true; }
+  return false;
+}
+
+/// Parses "m0-3", "m0,m2", "mall", "m7" into a bitmask.
+bool parse_modules(std::string_view text, std::uint8_t* mask_out) {
+  std::uint8_t mask = 0;
+  for (const auto& part : split(text, ',')) {
+    const std::string p = trim(part);
+    if (p.empty()) return false;
+    std::string_view v = p;
+    if (v.front() == 'm') v.remove_prefix(1);
+    if (v == "all") {
+      mask = 0xff;
+      continue;
+    }
+    const auto dash = v.find('-');
+    char* end = nullptr;
+    if (dash == std::string_view::npos) {
+      const long idx = std::strtol(std::string{v}.c_str(), &end, 10);
+      if (idx < 0 || idx > 7) return false;
+      mask |= static_cast<std::uint8_t>(1u << idx);
+    } else {
+      const long lo = std::strtol(std::string{v.substr(0, dash)}.c_str(), &end, 10);
+      const long hi = std::strtol(std::string{v.substr(dash + 1)}.c_str(), &end, 10);
+      if (lo < 0 || hi > 7 || lo > hi) return false;
+      for (long i = lo; i <= hi; ++i) mask |= static_cast<std::uint8_t>(1u << i);
+    }
+  }
+  *mask_out = mask;
+  return true;
+}
+
+}  // namespace
+
+AsmResult assemble(std::string_view source) {
+  std::vector<Instruction> program;
+  std::size_t line_no = 0;
+  for (const auto& raw_line : split(source, '\n')) {
+    ++line_no;
+    std::string line = raw_line;
+    for (const char c : {';', '#'}) {
+      const auto pos = line.find(c);
+      if (pos != std::string::npos) line = line.substr(0, pos);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    // Split "<mnemonic>[.mem] [operands...]".
+    const auto space = line.find_first_of(" \t");
+    std::string head = line.substr(0, space);
+    std::string rest = space == std::string::npos ? "" : trim(line.substr(space));
+
+    MemSel mem = MemSel::kNone;
+    const auto dot = head.find('.');
+    if (dot != std::string::npos) {
+      if (!parse_mem(head.substr(dot + 1), &mem)) {
+        return AsmError{line_no, "unknown memory selector '" + head.substr(dot + 1) + "'"};
+      }
+      head = head.substr(0, dot);
+    }
+
+    const Mnemonic* m = find_mnemonic(to_lower(head));
+    if (m == nullptr) {
+      return AsmError{line_no, "unknown mnemonic '" + head + "'"};
+    }
+
+    Instruction inst;
+    inst.category = m->category;
+    inst.opcode = m->opcode;
+    inst.mem = mem;
+
+    // Operands: optional module list, optional immediate (last numeric field).
+    if (!rest.empty()) {
+      auto fields = split(rest, ',');
+      // Re-join module ranges: "m0-3, 64" splits cleanly, but "m0,m2, 64"
+      // needs the module fields merged. Strategy: fields that start with 'm'
+      // belong to the module list; a bare number is the immediate.
+      std::string modules_text;
+      std::string imm_text;
+      for (auto& f : fields) {
+        const std::string t = trim(f);
+        if (t.empty()) continue;
+        if (t.front() == 'm' || t.front() == 'M') {
+          if (!modules_text.empty()) modules_text += ',';
+          modules_text += to_lower(t);
+        } else {
+          imm_text = t;
+        }
+      }
+      if (!modules_text.empty() && !parse_modules(modules_text, &inst.module_mask)) {
+        return AsmError{line_no, "bad module list '" + modules_text + "'"};
+      }
+      if (!imm_text.empty()) {
+        char* end = nullptr;
+        const long v = std::strtol(imm_text.c_str(), &end, 0);
+        if (end == imm_text.c_str() || v < 0 || v > 0xffff) {
+          return AsmError{line_no, "bad immediate '" + imm_text + "'"};
+        }
+        inst.imm = static_cast<std::uint16_t>(v);
+      } else if (m->takes_imm) {
+        return AsmError{line_no, std::string{"'"} + m->name + "' requires an immediate"};
+      }
+    } else if (m->takes_imm) {
+      return AsmError{line_no, std::string{"'"} + m->name + "' requires an immediate"};
+    }
+
+    program.push_back(inst);
+  }
+  return program;
+}
+
+std::string disassemble(const std::vector<Instruction>& program) {
+  std::ostringstream out;
+  for (const auto& inst : program) {
+    out << opcode_name(inst.category, inst.opcode);
+    if (inst.mem != MemSel::kNone) out << "." << mem_name(inst.mem);
+    if (inst.module_mask != 0) {
+      out << " ";
+      bool first = true;
+      for (int i = 0; i < 8; ++i) {
+        if ((inst.module_mask & (1 << i)) != 0) {
+          if (!first) out << ",";
+          out << "m" << i;
+          first = false;
+        }
+      }
+    }
+    const Mnemonic* m = find_mnemonic(opcode_name(inst.category, inst.opcode));
+    if (m != nullptr && m->takes_imm) out << ", " << inst.imm;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hhpim::isa

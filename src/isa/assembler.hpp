@@ -1,0 +1,37 @@
+// Text assembler / disassembler for the PIM ISA.
+//
+// Syntax (one instruction per line, ';' or '#' starts a comment):
+//
+//   mac.sram   m0-3, 64       ; 64 MACs on modules 0..3, weights from SRAM
+//   mac.mram   m0, 128
+//   xferout.sram m2, 32
+//   pwron.mram m0-7
+//   barrier    m0-7
+//   halt
+//
+// Module lists: `m3`, `m0-3`, `m0,m2,m5`, or `mall`.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace hhpim::isa {
+
+struct AsmError {
+  std::size_t line;    ///< 1-based line number in the source.
+  std::string message;
+};
+
+using AsmResult = std::variant<std::vector<Instruction>, AsmError>;
+
+/// Assembles a program. Returns either the instruction list or the first error.
+[[nodiscard]] AsmResult assemble(std::string_view source);
+
+/// Renders a program to assembly text that `assemble` accepts.
+[[nodiscard]] std::string disassemble(const std::vector<Instruction>& program);
+
+}  // namespace hhpim::isa

@@ -1,0 +1,112 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+namespace hhpim::isa {
+
+namespace {
+constexpr std::uint8_t kMaxOpcode[4] = {
+    3,  // Compute: kMac..kRequant
+    4,  // DataMove: kLoad..kIntra
+    3,  // Config: kPowerOn..kSetStride
+    3,  // Sync: kNop..kHalt
+};
+}  // namespace
+
+std::uint32_t encode(const Instruction& inst) {
+  return (static_cast<std::uint32_t>(inst.category) << 30) |
+         (static_cast<std::uint32_t>(inst.opcode & 0xf) << 26) |
+         (static_cast<std::uint32_t>(inst.mem) << 24) |
+         (static_cast<std::uint32_t>(inst.module_mask) << 16) |
+         static_cast<std::uint32_t>(inst.imm);
+}
+
+std::optional<Instruction> decode(std::uint32_t word) {
+  Instruction inst;
+  inst.category = static_cast<Category>((word >> 30) & 0x3);
+  inst.opcode = static_cast<std::uint8_t>((word >> 26) & 0xf);
+  inst.mem = static_cast<MemSel>((word >> 24) & 0x3);
+  inst.module_mask = static_cast<std::uint8_t>((word >> 16) & 0xff);
+  inst.imm = static_cast<std::uint16_t>(word & 0xffff);
+  if (inst.opcode > kMaxOpcode[static_cast<std::size_t>(inst.category)]) {
+    return std::nullopt;
+  }
+  return inst;
+}
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kCompute: return "compute";
+    case Category::kDataMove: return "move";
+    case Category::kConfig: return "config";
+    case Category::kSync: return "sync";
+  }
+  return "?";
+}
+
+const char* mem_name(MemSel m) {
+  switch (m) {
+    case MemSel::kNone: return "none";
+    case MemSel::kMram: return "mram";
+    case MemSel::kSram: return "sram";
+    case MemSel::kBoth: return "both";
+  }
+  return "?";
+}
+
+const char* opcode_name(Category c, std::uint8_t opcode) {
+  static const char* kCompute[] = {"mac", "gemv", "relu", "requant"};
+  static const char* kMove[] = {"load", "store", "xferout", "xferin", "intra"};
+  static const char* kConfig[] = {"pwron", "pwroff", "setbase", "setstride"};
+  static const char* kSync[] = {"nop", "barrier", "fence", "halt"};
+  if (opcode > kMaxOpcode[static_cast<std::size_t>(c)]) return nullptr;
+  switch (c) {
+    case Category::kCompute: return kCompute[opcode];
+    case Category::kDataMove: return kMove[opcode];
+    case Category::kConfig: return kConfig[opcode];
+    case Category::kSync: return kSync[opcode];
+  }
+  return nullptr;
+}
+
+std::string to_string(const Instruction& inst) {
+  std::ostringstream out;
+  out << opcode_name(inst.category, inst.opcode);
+  if (inst.mem != MemSel::kNone) out << "." << mem_name(inst.mem);
+  out << " m=0x" << std::hex << static_cast<int>(inst.module_mask) << std::dec
+      << " imm=" << inst.imm;
+  return out.str();
+}
+
+Instruction make_mac(std::uint8_t module_mask, MemSel mem, std::uint16_t count) {
+  return Instruction{Category::kCompute, static_cast<std::uint8_t>(ComputeOp::kMac),
+                     mem, module_mask, count};
+}
+
+Instruction make_barrier(std::uint8_t module_mask) {
+  return Instruction{Category::kSync, static_cast<std::uint8_t>(SyncOp::kBarrier),
+                     MemSel::kNone, module_mask, 0};
+}
+
+Instruction make_halt() {
+  return Instruction{Category::kSync, static_cast<std::uint8_t>(SyncOp::kHalt),
+                     MemSel::kNone, 0, 0};
+}
+
+Instruction make_power(std::uint8_t module_mask, MemSel mem, bool on) {
+  return Instruction{Category::kConfig,
+                     static_cast<std::uint8_t>(on ? ConfigOp::kPowerOn : ConfigOp::kPowerOff),
+                     mem, module_mask, 0};
+}
+
+Instruction make_xfer_out(std::uint8_t module_mask, MemSel mem, std::uint16_t words) {
+  return Instruction{Category::kDataMove, static_cast<std::uint8_t>(DataMoveOp::kXferOut),
+                     mem, module_mask, words};
+}
+
+Instruction make_xfer_in(std::uint8_t module_mask, MemSel mem, std::uint16_t words) {
+  return Instruction{Category::kDataMove, static_cast<std::uint8_t>(DataMoveOp::kXferIn),
+                     mem, module_mask, words};
+}
+
+}  // namespace hhpim::isa

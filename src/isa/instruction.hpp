@@ -1,0 +1,93 @@
+// Dedicated PIM instruction set.
+//
+// The paper's controllers operate on dedicated PIM instructions that carry a
+// Category, an Instruction Field (opcode / operands / address) and a Module
+// Select Signal. We encode them in one 32-bit word:
+//
+//   [31:30] category      (COMPUTE / DATA_MOVE / CONFIG / SYNC)
+//   [29:26] opcode        (within category)
+//   [25:24] memory kind   (NONE / MRAM / SRAM / BOTH)
+//   [23:16] module mask   (bit i = PIM module i of the target cluster)
+//   [15:0]  immediate     (burst length, address, or transfer size)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hhpim::isa {
+
+enum class Category : std::uint8_t {
+  kCompute = 0,
+  kDataMove = 1,
+  kConfig = 2,
+  kSync = 3,
+};
+
+enum class ComputeOp : std::uint8_t {
+  kMac = 0,     ///< imm = number of MACs; weight stream from `mem`.
+  kGemv = 1,    ///< imm = vector length.
+  kRelu = 2,    ///< imm = element count.
+  kRequant = 3, ///< imm = element count.
+};
+
+enum class DataMoveOp : std::uint8_t {
+  kLoad = 0,     ///< external -> module memory; imm = words.
+  kStore = 1,    ///< module memory -> external; imm = words.
+  kXferOut = 2,  ///< module -> rearrange buffer (cross-cluster); imm = words.
+  kXferIn = 3,   ///< rearrange buffer -> module; imm = words.
+  kIntra = 4,    ///< MRAM <-> SRAM within the module; imm = words.
+};
+
+enum class ConfigOp : std::uint8_t {
+  kPowerOn = 0,   ///< power up `mem` of the selected modules.
+  kPowerOff = 1,  ///< gate `mem` of the selected modules.
+  kSetBase = 2,   ///< imm = base address for subsequent bursts.
+  kSetStride = 3, ///< imm = stride.
+};
+
+enum class SyncOp : std::uint8_t {
+  kNop = 0,
+  kBarrier = 1,  ///< wait until all selected modules are idle.
+  kFence = 2,    ///< order data moves before computes.
+  kHalt = 3,
+};
+
+enum class MemSel : std::uint8_t { kNone = 0, kMram = 1, kSram = 2, kBoth = 3 };
+
+/// A decoded PIM instruction.
+struct Instruction {
+  Category category = Category::kSync;
+  std::uint8_t opcode = 0;  ///< one of the *Op enums, per category
+  MemSel mem = MemSel::kNone;
+  std::uint8_t module_mask = 0;
+  std::uint16_t imm = 0;
+
+  [[nodiscard]] bool operator==(const Instruction&) const = default;
+};
+
+/// Encodes to the 32-bit wire format.
+[[nodiscard]] std::uint32_t encode(const Instruction& inst);
+
+/// Decodes a 32-bit word. Returns nullopt for malformed encodings
+/// (reserved opcode values).
+[[nodiscard]] std::optional<Instruction> decode(std::uint32_t word);
+
+/// Human-readable one-line disassembly, accepted back by the assembler.
+[[nodiscard]] std::string to_string(const Instruction& inst);
+
+[[nodiscard]] const char* category_name(Category c);
+[[nodiscard]] const char* mem_name(MemSel m);
+/// Mnemonic for (category, opcode); nullptr if the opcode is reserved.
+[[nodiscard]] const char* opcode_name(Category c, std::uint8_t opcode);
+
+// Convenience constructors ---------------------------------------------------
+
+[[nodiscard]] Instruction make_mac(std::uint8_t module_mask, MemSel mem, std::uint16_t count);
+[[nodiscard]] Instruction make_barrier(std::uint8_t module_mask = 0xff);
+[[nodiscard]] Instruction make_halt();
+[[nodiscard]] Instruction make_power(std::uint8_t module_mask, MemSel mem, bool on);
+[[nodiscard]] Instruction make_xfer_out(std::uint8_t module_mask, MemSel mem, std::uint16_t words);
+[[nodiscard]] Instruction make_xfer_in(std::uint8_t module_mask, MemSel mem, std::uint16_t words);
+
+}  // namespace hhpim::isa

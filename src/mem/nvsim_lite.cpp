@@ -1,0 +1,92 @@
+#include "mem/nvsim_lite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hhpim::mem {
+
+namespace {
+constexpr double kVddHp = 1.2;
+constexpr double kVddLp = 0.8;
+}  // namespace
+
+double NvsimLite::Law::operator()(double vdd, double vth) const {
+  if (vdd <= vth) {
+    throw std::invalid_argument("NvsimLite: vdd must exceed threshold voltage");
+  }
+  const double x = (vdd - vth) / (kVddHp - vth);
+  const double x_lp = (kVddLp - vth) / (kVddHp - vth);
+  // beta solves at_lp = at_hp * x_lp^beta.
+  const double beta = std::log(at_lp / at_hp) / std::log(x_lp);
+  return at_hp * std::pow(x, beta);
+}
+
+NvsimLite::NvsimLite() {
+  // Anchors: Table III (ns) and Table V (mW), HP = 1.2 V, LP = 0.8 V.
+  sram_ = {
+      /*read_ns=*/{1.12, 1.41},
+      /*write_ns=*/{1.12, 1.41},
+      /*dyn_read_mw=*/{508.93, 177.30},
+      /*dyn_write_mw=*/{500.00, 177.30},
+      /*leak_mw=*/{23.29, 5.45},
+  };
+  mram_ = {
+      /*read_ns=*/{2.62, 2.96},
+      /*write_ns=*/{11.81, 14.65},
+      /*dyn_read_mw=*/{428.48, 179.05},
+      /*dyn_write_mw=*/{133.78, 47.78},
+      /*leak_mw=*/{2.98, 0.84},
+  };
+  pe_ns_ = {5.52, 10.68};
+  pe_dyn_mw_ = {0.90, 0.51};
+  pe_leak_mw_ = {0.48, 0.25};
+}
+
+const NvsimLite::TechLaws& NvsimLite::laws(energy::MemoryKind k) const {
+  return k == energy::MemoryKind::kSram ? sram_ : mram_;
+}
+
+NvsimResult NvsimLite::evaluate(const NvsimQuery& q) const {
+  const TechLaws& l = laws(q.kind);
+  const double tech = q.tech_nm / ref_tech_nm_;
+  const double cap_delay =
+      std::sqrt(static_cast<double>(q.capacity_bytes) / static_cast<double>(ref_capacity_));
+  const double cap_leak =
+      static_cast<double>(q.capacity_bytes) / static_cast<double>(ref_capacity_);
+
+  NvsimResult r;
+  r.timing.read = Time::ns(l.read_ns(q.vdd, vth_) * tech * cap_delay);
+  r.timing.write = Time::ns(l.write_ns(q.vdd, vth_) * tech * cap_delay);
+  r.power.dyn_read = Power::mw(l.dyn_read_mw(q.vdd, vth_) * tech);
+  r.power.dyn_write = Power::mw(l.dyn_write_mw(q.vdd, vth_) * tech);
+  r.power.leakage = Power::mw(l.leak_mw(q.vdd, vth_) * tech * cap_leak);
+  return r;
+}
+
+energy::PeSpec NvsimLite::evaluate_pe(double vdd) const {
+  energy::PeSpec pe;
+  pe.mac_latency = Time::ns(pe_ns_(vdd, vth_));
+  pe.dynamic = Power::mw(pe_dyn_mw_(vdd, vth_));
+  pe.leakage = Power::mw(pe_leak_mw_(vdd, vth_));
+  return pe;
+}
+
+energy::PowerSpec NvsimLite::make_spec(double vdd_hp, double vdd_lp,
+                                       std::size_t capacity_bytes) const {
+  energy::PowerSpec s;
+  auto fill = [&](energy::ModuleSpec& m, double vdd) {
+    m.vdd = vdd;
+    const auto sram = evaluate({energy::MemoryKind::kSram, capacity_bytes, vdd, ref_tech_nm_});
+    const auto mram = evaluate({energy::MemoryKind::kMram, capacity_bytes, vdd, ref_tech_nm_});
+    m.sram_timing = sram.timing;
+    m.sram_power = sram.power;
+    m.mram_timing = mram.timing;
+    m.mram_power = mram.power;
+    m.pe = evaluate_pe(vdd);
+  };
+  fill(s.hp, vdd_hp);
+  fill(s.lp, vdd_lp);
+  return s;
+}
+
+}  // namespace hhpim::mem

@@ -1,0 +1,74 @@
+// NVSim-lite: a small analytical memory parameter model in the spirit of
+// NVSim (Dong et al., TCAD 2012), which the paper uses to obtain Table III
+// latencies and Table V powers at 45 nm.
+//
+// Calibration: every quantity (read/write delay, dynamic read/write power,
+// leakage — per technology, plus the PE latency/power) is anchored at the
+// paper's two measured supply points, 1.2 V (HP) and 0.8 V (LP). Between and
+// around the anchors the model fits a per-quantity power law in the gate
+// overdrive (Vdd - Vth):
+//
+//     q(Vdd) = q(1.2 V) * ((Vdd - Vth) / (1.2 - Vth))^beta_q
+//
+// where beta_q is solved from the two anchors, making Tables III and V exact
+// at 1.2 V and 0.8 V by construction. Capacity scales delay with
+// sqrt(capacity) (bitline/wordline RC) and leakage linearly; technology node
+// scales delay and power linearly. Points away from the anchors are model
+// extrapolations used by the design-space-exploration example.
+#pragma once
+
+#include "energy/power_spec.hpp"
+
+namespace hhpim::mem {
+
+struct NvsimQuery {
+  energy::MemoryKind kind = energy::MemoryKind::kSram;
+  std::size_t capacity_bytes = 64 * 1024;
+  double vdd = 1.2;
+  double tech_nm = 45.0;
+};
+
+struct NvsimResult {
+  energy::MemoryTiming timing;
+  energy::MemoryPower power;
+};
+
+class NvsimLite {
+ public:
+  /// Model calibrated against the paper's 45 nm tables.
+  NvsimLite();
+
+  [[nodiscard]] NvsimResult evaluate(const NvsimQuery& q) const;
+
+  /// PE (MAC datapath) latency and power at a given supply voltage.
+  [[nodiscard]] energy::PeSpec evaluate_pe(double vdd) const;
+
+  /// Builds a full PowerSpec (both clusters) for arbitrary supply voltages.
+  /// make_spec(1.2, 0.8) reproduces PowerSpec::paper_45nm() exactly.
+  [[nodiscard]] energy::PowerSpec make_spec(double vdd_hp, double vdd_lp,
+                                            std::size_t capacity_bytes = 64 * 1024) const;
+
+ private:
+  /// One physical quantity anchored at the two measured voltages.
+  struct Law {
+    double at_hp = 0.0;  // value at 1.2 V
+    double at_lp = 0.0;  // value at 0.8 V
+    /// Power-law interpolation/extrapolation in overdrive voltage.
+    [[nodiscard]] double operator()(double vdd, double vth) const;
+  };
+
+  struct TechLaws {
+    Law read_ns, write_ns, dyn_read_mw, dyn_write_mw, leak_mw;
+  };
+
+  [[nodiscard]] const TechLaws& laws(energy::MemoryKind k) const;
+
+  TechLaws sram_;
+  TechLaws mram_;
+  Law pe_ns_, pe_dyn_mw_, pe_leak_mw_;
+  double vth_ = 0.35;
+  double ref_tech_nm_ = 45.0;
+  std::size_t ref_capacity_ = 64 * 1024;
+};
+
+}  // namespace hhpim::mem

@@ -1,0 +1,82 @@
+#include "nn/layer.hpp"
+
+#include <stdexcept>
+
+namespace hhpim::nn {
+
+const char* to_string(LayerKind k) {
+  switch (k) {
+    case LayerKind::kConv2d: return "conv";
+    case LayerKind::kDwConv2d: return "dwconv";
+    case LayerKind::kLinear: return "linear";
+    case LayerKind::kPool: return "pool";
+    case LayerKind::kAdd: return "add";
+    case LayerKind::kActivation: return "act";
+  }
+  return "?";
+}
+
+int conv_out_dim(int in, int stride) { return (in + stride - 1) / stride; }
+
+std::uint64_t Layer::params() const {
+  switch (kind) {
+    case LayerKind::kConv2d:
+      return static_cast<std::uint64_t>(kernel) * kernel * (in.c / groups) * out.c;
+    case LayerKind::kDwConv2d:
+      return static_cast<std::uint64_t>(kernel) * kernel * in.c;
+    case LayerKind::kLinear:
+      return static_cast<std::uint64_t>(in.elements()) * out.c;
+    case LayerKind::kPool:
+    case LayerKind::kAdd:
+    case LayerKind::kActivation:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint64_t Layer::macs() const {
+  switch (kind) {
+    case LayerKind::kConv2d:
+    case LayerKind::kDwConv2d:
+      return params() * static_cast<std::uint64_t>(out.h) * out.w;
+    case LayerKind::kLinear:
+      return params();
+    case LayerKind::kPool:
+    case LayerKind::kAdd:
+    case LayerKind::kActivation:
+      return 0;
+  }
+  return 0;
+}
+
+void Layer::validate() const {
+  auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("Layer '" + name + "': " + why);
+  };
+  if (in.c <= 0 || out.c <= 0) fail("channel counts must be positive");
+  switch (kind) {
+    case LayerKind::kConv2d:
+      if (in.c % groups != 0 || out.c % groups != 0) fail("channels not divisible by groups");
+      [[fallthrough]];
+    case LayerKind::kDwConv2d:
+      if (kind == LayerKind::kDwConv2d && in.c != out.c) fail("depthwise must preserve channels");
+      if (out.h != conv_out_dim(in.h, stride) || out.w != conv_out_dim(in.w, stride)) {
+        fail("output spatial dims inconsistent with stride");
+      }
+      break;
+    case LayerKind::kLinear:
+      if (out.h != 1 || out.w != 1) fail("linear output must be 1x1");
+      break;
+    case LayerKind::kPool:
+      if (out.h != conv_out_dim(in.h, stride) || out.w != conv_out_dim(in.w, stride)) {
+        fail("pool output dims inconsistent with stride");
+      }
+      break;
+    case LayerKind::kAdd:
+    case LayerKind::kActivation:
+      if (!(in == out)) fail("elementwise layers must preserve shape");
+      break;
+  }
+}
+
+}  // namespace hhpim::nn

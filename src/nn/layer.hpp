@@ -1,0 +1,54 @@
+// Neural-network layer descriptors. The simulator needs per-layer parameter
+// and MAC counts (weights stream through the PIM modules), not live tensors,
+// so layers are shape-level descriptions with exact arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hhpim::nn {
+
+struct TensorShape {
+  int c = 0, h = 0, w = 0;
+  [[nodiscard]] std::int64_t elements() const {
+    return static_cast<std::int64_t>(c) * h * w;
+  }
+  [[nodiscard]] bool operator==(const TensorShape&) const = default;
+};
+
+enum class LayerKind : std::uint8_t {
+  kConv2d,     ///< standard or grouped convolution
+  kDwConv2d,   ///< depthwise convolution (groups == in channels)
+  kLinear,     ///< fully connected
+  kPool,       ///< max/avg pool (no weights)
+  kAdd,        ///< residual add (no weights)
+  kActivation, ///< ReLU / swish / etc. (no weights)
+};
+
+[[nodiscard]] const char* to_string(LayerKind k);
+
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kConv2d;
+  TensorShape in;
+  TensorShape out;
+  int kernel = 1;
+  int stride = 1;
+  int groups = 1;
+
+  /// Weight parameter count (biases excluded — folded in INT8 deployment).
+  [[nodiscard]] std::uint64_t params() const;
+
+  /// Multiply-accumulate count for one inference.
+  [[nodiscard]] std::uint64_t macs() const;
+
+  /// Validates shape arithmetic (spatial dims vs kernel/stride, channel
+  /// divisibility by groups). Throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// Output spatial size for a conv/pool with "same-ish" padding:
+/// out = ceil(in / stride).
+[[nodiscard]] int conv_out_dim(int in, int stride);
+
+}  // namespace hhpim::nn

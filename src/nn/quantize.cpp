@@ -1,0 +1,43 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hhpim::nn {
+
+QuantParams QuantParams::choose(std::span<const float> values) {
+  float absmax = 0.0f;
+  for (const float v : values) absmax = std::max(absmax, std::abs(v));
+  QuantParams qp;
+  qp.scale = absmax == 0.0f ? 1.0 : static_cast<double>(absmax) / 127.0;
+  return qp;
+}
+
+std::int8_t quantize_one(float v, const QuantParams& qp) {
+  const double q = std::nearbyint(static_cast<double>(v) / qp.scale);
+  return static_cast<std::int8_t>(std::clamp(q, -128.0, 127.0));
+}
+
+std::vector<std::int8_t> quantize(std::span<const float> v, const QuantParams& qp) {
+  std::vector<std::int8_t> out;
+  out.reserve(v.size());
+  for (const float x : v) out.push_back(quantize_one(x, qp));
+  return out;
+}
+
+float dequantize_one(std::int8_t q, const QuantParams& qp) {
+  return static_cast<float>(static_cast<double>(q) * qp.scale);
+}
+
+std::vector<float> dequantize(std::span<const std::int8_t> q, const QuantParams& qp) {
+  std::vector<float> out;
+  out.reserve(q.size());
+  for (const std::int8_t x : q) out.push_back(dequantize_one(x, qp));
+  return out;
+}
+
+float dequantize_acc(std::int32_t acc, const QuantParams& a, const QuantParams& b) {
+  return static_cast<float>(static_cast<double>(acc) * a.scale * b.scale);
+}
+
+}  // namespace hhpim::nn

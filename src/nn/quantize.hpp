@@ -1,0 +1,29 @@
+// INT8 symmetric quantization (the paper's models are INT8-quantized).
+// Used by the functional examples/tests that push real data through the PE.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hhpim::nn {
+
+struct QuantParams {
+  double scale = 1.0;  ///< real = scale * q
+
+  /// Chooses a symmetric scale covering [-absmax, absmax] in int8.
+  [[nodiscard]] static QuantParams choose(std::span<const float> values);
+};
+
+/// real -> int8, round-to-nearest, saturating.
+[[nodiscard]] std::int8_t quantize_one(float v, const QuantParams& qp);
+[[nodiscard]] std::vector<std::int8_t> quantize(std::span<const float> v, const QuantParams& qp);
+
+/// int8 -> real.
+[[nodiscard]] float dequantize_one(std::int8_t q, const QuantParams& qp);
+[[nodiscard]] std::vector<float> dequantize(std::span<const std::int8_t> q, const QuantParams& qp);
+
+/// int32 accumulator of (a.q * b.q) -> real, given both operand scales.
+[[nodiscard]] float dequantize_acc(std::int32_t acc, const QuantParams& a, const QuantParams& b);
+
+}  // namespace hhpim::nn

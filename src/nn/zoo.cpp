@@ -1,0 +1,136 @@
+#include "nn/zoo.hpp"
+
+namespace hhpim::nn::zoo {
+
+namespace {
+
+/// One MBConv block (expansion conv -> depthwise -> projection), the
+/// building block of EfficientNet and MobileNetV2.
+void mbconv(Model& m, const std::string& name, int expand_ratio, int out_c, int kernel,
+            int stride) {
+  const int in_c = m.current_shape().c;
+  const int mid = in_c * expand_ratio;
+  if (expand_ratio != 1) {
+    m.conv(name + ".expand", mid, 1, 1);
+    m.act(name + ".act0");
+  }
+  m.dwconv(name + ".dw", kernel, stride);
+  m.act(name + ".act1");
+  m.conv(name + ".project", out_c, 1, 1);
+}
+
+/// One ResNet basic block: two 3x3 convolutions (+ shortcut conv on
+/// downsampling).
+void basic_block(Model& m, const std::string& name, int out_c, int stride) {
+  const int in_c = m.current_shape().c;
+  m.conv(name + ".conv1", out_c, 3, stride);
+  m.act(name + ".act1");
+  m.conv(name + ".conv2", out_c, 3, 1);
+  if (stride != 1 || in_c != out_c) {
+    // Shortcut projection: modeled structurally; the residual add itself has
+    // no weights.
+    Layer sc;
+    sc.name = name + ".shortcut";
+    sc.kind = LayerKind::kConv2d;
+    sc.in = {in_c, m.current_shape().h * stride, m.current_shape().w * stride};
+    sc.out = m.current_shape();
+    sc.kernel = 1;
+    sc.stride = stride;
+    m.add(std::move(sc));
+  }
+  m.act(name + ".act2");
+}
+
+}  // namespace
+
+Model efficientnet_b0() {
+  // TinyML-width EfficientNet-B0: the standard 16-block topology at reduced
+  // channel widths, 32x32 input (CIFAR-class edge workload).
+  Model m{"EfficientNet-B0", 0.85};
+  m.input({3, 32, 32});
+  m.conv("stem", 16, 3, 1);
+  m.act("stem.act");
+  mbconv(m, "mb1", 1, 8, 3, 1);
+  mbconv(m, "mb2a", 6, 12, 3, 2);
+  mbconv(m, "mb2b", 6, 12, 3, 1);
+  mbconv(m, "mb3a", 6, 16, 5, 2);
+  mbconv(m, "mb3b", 6, 16, 5, 1);
+  mbconv(m, "mb4a", 6, 32, 3, 2);
+  mbconv(m, "mb4b", 6, 32, 3, 1);
+  mbconv(m, "mb4c", 6, 32, 3, 1);
+  mbconv(m, "mb5a", 6, 44, 5, 1);
+  mbconv(m, "mb5b", 6, 44, 5, 1);
+  mbconv(m, "mb5c", 6, 44, 5, 1);
+  mbconv(m, "mb6a", 6, 56, 5, 2);
+  mbconv(m, "mb6b", 6, 56, 5, 1);
+  mbconv(m, "mb6c", 6, 56, 5, 1);
+  mbconv(m, "mb6d", 6, 56, 5, 1);
+  mbconv(m, "mb7", 6, 96, 3, 1);
+  m.conv("head", 160, 1, 1);
+  m.act("head.act");
+  m.pool("gap", m.current_shape().h);
+  m.linear("classifier", 10);
+  m.calibrate(95'000, 3'245'000);
+  return m;
+}
+
+Model mobilenet_v2() {
+  // Width-reduced MobileNetV2 (17 inverted-residual blocks), 32x32 input.
+  Model m{"MobileNetV2", 0.80};
+  m.input({3, 32, 32});
+  m.conv("stem", 16, 3, 1);
+  m.act("stem.act");
+  mbconv(m, "ir1", 1, 8, 3, 1);
+  mbconv(m, "ir2a", 6, 12, 3, 2);
+  mbconv(m, "ir2b", 6, 12, 3, 1);
+  mbconv(m, "ir3a", 6, 16, 3, 2);
+  mbconv(m, "ir3b", 6, 16, 3, 1);
+  mbconv(m, "ir3c", 6, 16, 3, 1);
+  mbconv(m, "ir4a", 6, 32, 3, 2);
+  mbconv(m, "ir4b", 6, 32, 3, 1);
+  mbconv(m, "ir4c", 6, 32, 3, 1);
+  mbconv(m, "ir4d", 6, 32, 3, 1);
+  mbconv(m, "ir5a", 6, 48, 3, 1);
+  mbconv(m, "ir5b", 6, 48, 3, 1);
+  mbconv(m, "ir5c", 6, 48, 3, 1);
+  mbconv(m, "ir6a", 6, 80, 3, 2);
+  mbconv(m, "ir6b", 6, 80, 3, 1);
+  mbconv(m, "ir6c", 6, 80, 3, 1);
+  mbconv(m, "ir7", 6, 160, 3, 1);
+  m.conv("head", 320, 1, 1);
+  m.act("head.act");
+  m.pool("gap", m.current_shape().h);
+  m.linear("classifier", 10);
+  m.calibrate(101'000, 2'528'000);
+  return m;
+}
+
+Model resnet18() {
+  // Width-reduced ResNet-18 (8 basic blocks), 32x32 input.
+  Model m{"ResNet-18", 0.75};
+  m.input({3, 32, 32});
+  m.conv("stem", 16, 3, 1);
+  m.act("stem.act");
+  basic_block(m, "l1a", 16, 1);
+  basic_block(m, "l1b", 16, 1);
+  basic_block(m, "l2a", 32, 2);
+  basic_block(m, "l2b", 32, 1);
+  basic_block(m, "l3a", 64, 2);
+  basic_block(m, "l3b", 64, 1);
+  basic_block(m, "l4a", 128, 2);
+  basic_block(m, "l4b", 128, 1);
+  m.pool("gap", m.current_shape().h);
+  m.linear("classifier", 10);
+  m.calibrate(256'000, 29'580'000);
+  return m;
+}
+
+std::vector<Model> paper_models() {
+  std::vector<Model> v;
+  v.push_back(efficientnet_b0());
+  v.push_back(mobilenet_v2());
+  v.push_back(resnet18());
+  return v;
+}
+
+}  // namespace hhpim::nn::zoo

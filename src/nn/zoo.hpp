@@ -1,0 +1,22 @@
+// TinyML model zoo: the paper's three benchmarks (Table IV), built as
+// realistic layer stacks and calibrated to the reported totals:
+//
+//   EfficientNet-B0  :  95 k params, 3.245 M MACs, 85 % PIM ops
+//   MobileNetV2      : 101 k params, 2.528 M MACs, 80 % PIM ops
+//   ResNet-18        : 256 k params, 29.580 M MACs, 75 % PIM ops
+#pragma once
+
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace hhpim::nn::zoo {
+
+[[nodiscard]] Model efficientnet_b0();
+[[nodiscard]] Model mobilenet_v2();
+[[nodiscard]] Model resnet18();
+
+/// All three, in the paper's Table IV order.
+[[nodiscard]] std::vector<Model> paper_models();
+
+}  // namespace hhpim::nn::zoo

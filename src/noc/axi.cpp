@@ -1,0 +1,29 @@
+#include "noc/axi.hpp"
+
+#include <algorithm>
+
+namespace hhpim::noc {
+
+AxiChannel::AxiChannel(AxiConfig config, energy::EnergyLedger* ledger)
+    : config_(std::move(config)),
+      ledger_(ledger),
+      id_(ledger != nullptr ? ledger->register_component(config_.name)
+                            : energy::ComponentId{}) {}
+
+AxiResult AxiChannel::transfer(Time now, std::uint64_t bytes) {
+  const Time start = std::max(now, busy_until_);
+  const std::uint64_t beats =
+      (bytes + config_.data_width_bytes - 1) / config_.data_width_bytes;
+  const std::uint64_t bursts =
+      beats == 0 ? 0 : (beats + config_.max_burst_beats - 1) / config_.max_burst_beats;
+  const std::uint64_t cycles =
+      beats + bursts * static_cast<std::uint64_t>(config_.address_cycles);
+  const Time complete = start + config_.clock_period * static_cast<std::int64_t>(cycles);
+  busy_until_ = complete;
+  const Energy e = config_.energy_per_beat * static_cast<double>(beats);
+  if (ledger_ != nullptr) ledger_->add(id_, energy::Activity::kTransfer, e);
+  bytes_moved_ += bytes;
+  return AxiResult{start, complete, static_cast<std::uint32_t>(bursts), e};
+}
+
+}  // namespace hhpim::noc

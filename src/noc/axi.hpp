@@ -1,0 +1,51 @@
+// AXI-like burst channel: address phase (fixed handshake latency) followed by
+// data beats at the bus width/clock. Models the core <-> HH-PIM interface of
+// the paper's processor (Fig. 3), which uses AXI for high-bandwidth transfers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "energy/ledger.hpp"
+#include "noc/link.hpp"
+
+namespace hhpim::noc {
+
+struct AxiConfig {
+  std::string name = "axi";
+  std::size_t data_width_bytes = 8;   ///< AXI4 64-bit data bus
+  Time clock_period = Time::ns(1.0);  ///< 1 GHz bus clock
+  std::uint32_t address_cycles = 4;   ///< AW/AR handshake
+  std::uint32_t max_burst_beats = 256;
+  Energy energy_per_beat = Energy::pj(1.2);
+};
+
+struct AxiResult {
+  Time start;
+  Time complete;
+  std::uint32_t bursts;  ///< number of AXI bursts the payload was split into
+  Energy energy;
+};
+
+class AxiChannel {
+ public:
+  AxiChannel(AxiConfig config, energy::EnergyLedger* ledger);
+
+  /// Moves `bytes` as a sequence of bursts; the channel is occupied for the
+  /// whole sequence.
+  AxiResult transfer(Time now, std::uint64_t bytes);
+
+  [[nodiscard]] Time busy_until() const { return busy_until_; }
+  [[nodiscard]] const AxiConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+ private:
+  AxiConfig config_;
+  energy::EnergyLedger* ledger_;
+  energy::ComponentId id_;
+  Time busy_until_ = Time::zero();
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace hhpim::noc

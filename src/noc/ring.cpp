@@ -1,0 +1,46 @@
+#include "noc/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhpim::noc {
+
+Ring::Ring(RingConfig config, energy::EnergyLedger* ledger)
+    : config_(std::move(config)),
+      ledger_(ledger),
+      id_(ledger != nullptr ? ledger->register_component(config_.name)
+                            : energy::ComponentId{}) {
+  if (config_.nodes < 2) throw std::invalid_argument("Ring: need at least 2 nodes");
+}
+
+bool Ring::clockwise_shorter(std::size_t src, std::size_t dst) const {
+  const std::size_t n = config_.nodes;
+  const std::size_t cw = (dst + n - src) % n;
+  return cw <= n - cw;
+}
+
+std::size_t Ring::hops(std::size_t src, std::size_t dst) const {
+  const std::size_t n = config_.nodes;
+  if (src >= n || dst >= n) throw std::out_of_range("Ring: node index out of range");
+  const std::size_t cw = (dst + n - src) % n;
+  return std::min(cw, n - cw);
+}
+
+TransferResult Ring::send(Time now, std::size_t src, std::size_t dst, std::uint64_t bytes) {
+  const std::size_t h = hops(src, dst);
+  const std::size_t channel = clockwise_shorter(src, dst) ? 0 : 1;
+  Time& busy = busy_until_[channel];
+  const Time start = std::max(now, busy);
+  const Time serialize =
+      Time::ns(static_cast<double>(bytes) / config_.bandwidth_bytes_per_ns);
+  busy = start + serialize;
+  const Time complete =
+      start + serialize + config_.hop_latency * static_cast<std::int64_t>(h);
+  const Energy e = config_.energy_per_byte_hop *
+                   (static_cast<double>(bytes) * static_cast<double>(std::max<std::size_t>(h, 1)));
+  if (ledger_ != nullptr) ledger_->add(id_, energy::Activity::kTransfer, e);
+  ++messages_;
+  return TransferResult{start, complete, e};
+}
+
+}  // namespace hhpim::noc

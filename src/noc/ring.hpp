@@ -1,0 +1,49 @@
+// Lightweight ring NoC in the spirit of uNoC (the paper's system
+// interconnect): N nodes on a bidirectional ring, per-hop pipeline latency,
+// shared per-direction channel bandwidth. Messages take the shorter
+// direction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "energy/ledger.hpp"
+#include "noc/link.hpp"
+
+namespace hhpim::noc {
+
+struct RingConfig {
+  std::string name = "ring";
+  std::size_t nodes = 4;
+  Time hop_latency = Time::ns(1.0);
+  double bandwidth_bytes_per_ns = 8.0;
+  Energy energy_per_byte_hop = Energy::pj(0.08);
+};
+
+class Ring {
+ public:
+  Ring(RingConfig config, energy::EnergyLedger* ledger);
+
+  /// Number of hops taken from src to dst (shorter direction).
+  [[nodiscard]] std::size_t hops(std::size_t src, std::size_t dst) const;
+
+  /// Sends `bytes` from node `src` to node `dst`.
+  TransferResult send(Time now, std::size_t src, std::size_t dst, std::uint64_t bytes);
+
+  [[nodiscard]] const RingConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+
+ private:
+  /// 0 = clockwise channel, 1 = counter-clockwise channel.
+  [[nodiscard]] bool clockwise_shorter(std::size_t src, std::size_t dst) const;
+
+  RingConfig config_;
+  energy::EnergyLedger* ledger_;
+  energy::ComponentId id_;
+  Time busy_until_[2] = {Time::zero(), Time::zero()};
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace hhpim::noc

@@ -1,0 +1,27 @@
+#include "pim/instruction_queue.hpp"
+
+#include <algorithm>
+
+namespace hhpim::pim {
+
+InstructionQueue::InstructionQueue(std::size_t depth) : depth_(depth) {}
+
+bool InstructionQueue::push(const isa::Instruction& inst) {
+  if (full()) {
+    ++rejected_;
+    return false;
+  }
+  fifo_.push_back(inst);
+  ++pushed_;
+  peak_ = std::max(peak_, fifo_.size());
+  return true;
+}
+
+std::optional<isa::Instruction> InstructionQueue::pop() {
+  if (fifo_.empty()) return std::nullopt;
+  isa::Instruction inst = fifo_.front();
+  fifo_.pop_front();
+  return inst;
+}
+
+}  // namespace hhpim::pim

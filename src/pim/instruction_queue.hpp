@@ -1,0 +1,40 @@
+// PIM Instruction Queue (Fig. 1): the FIFO between the host core and the
+// PIM controllers. Fixed depth; the core stalls (MMIO busy) when full.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "isa/instruction.hpp"
+
+namespace hhpim::pim {
+
+class InstructionQueue {
+ public:
+  explicit InstructionQueue(std::size_t depth = 32);
+
+  /// Returns false (and drops nothing) if the queue is full.
+  bool push(const isa::Instruction& inst);
+
+  /// Pops the oldest instruction, or nullopt when empty.
+  std::optional<isa::Instruction> pop();
+
+  [[nodiscard]] bool empty() const { return fifo_.empty(); }
+  [[nodiscard]] bool full() const { return fifo_.size() >= depth_; }
+  [[nodiscard]] std::size_t size() const { return fifo_.size(); }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+  [[nodiscard]] std::size_t total_pushed() const { return pushed_; }
+  [[nodiscard]] std::size_t peak_occupancy() const { return peak_; }
+  [[nodiscard]] std::size_t rejected() const { return rejected_; }
+
+ private:
+  std::size_t depth_;
+  std::deque<isa::Instruction> fifo_;
+  std::size_t pushed_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace hhpim::pim

@@ -1,0 +1,122 @@
+// One PIM module: MRAM bank + SRAM bank + PE + interface (Fig. 1).
+//
+// The module executes weight-streaming compute bursts: per MAC, the LOAD
+// state fetches one int8 weight from the selected memory and the EXECUTE
+// state runs one MAC — serialized, so a burst of n MACs from memory m takes
+// n * (t_read(m) + t_pe). MRAM and SRAM portions of a task are serialized
+// within a module (paper §III-B); modules of a cluster run in parallel.
+//
+// Power management implemented here:
+//   * SRAM is powered whenever it holds resident weights (retention) and
+//     during compute bursts (it is also the I/O buffer). Otherwise gated.
+//   * MRAM is powered only while being accessed (non-volatile), i.e. during
+//     bursts that stream from it and during data movement.
+//   * The PE is powered only during compute bursts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/units.hpp"
+#include "energy/ledger.hpp"
+#include "energy/power_spec.hpp"
+#include "mem/bank.hpp"
+#include "pe/processing_element.hpp"
+
+namespace hhpim::pim {
+
+struct ModuleConfig {
+  std::string name = "pim0";
+  energy::ClusterKind cluster = energy::ClusterKind::kHighPerformance;
+  std::size_t mram_bytes = 64 * 1024;  ///< 0 = module has no MRAM (Baseline/Hetero)
+  std::size_t sram_bytes = 64 * 1024;
+};
+
+/// Completion report of a burst operation.
+struct BurstResult {
+  Time start;
+  Time complete;
+};
+
+class PimModule {
+ public:
+  PimModule(ModuleConfig config, const energy::PowerSpec& spec,
+            energy::EnergyLedger* ledger);
+
+  [[nodiscard]] const ModuleConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] bool has_mram() const { return mram_.has_value(); }
+
+  /// Weight capacity (int8 weights) of one memory kind.
+  [[nodiscard]] std::uint64_t weight_capacity(energy::MemoryKind m) const;
+
+  // --- Weight residency ----------------------------------------------------
+
+  /// Declares that `weights` int8 weights now live in memory `m`. Manages the
+  /// SRAM retention-leakage window. Throws if capacity is exceeded or the
+  /// module lacks that memory.
+  void set_resident(energy::MemoryKind m, std::uint64_t weights, Time now);
+  [[nodiscard]] std::uint64_t resident(energy::MemoryKind m) const;
+
+  // --- Timed operations (module-serialized) --------------------------------
+
+  /// `macs` MACs streaming weights from memory `m`. Starts at `now` or when
+  /// the module frees up.
+  BurstResult compute_burst(Time now, energy::MemoryKind m, std::uint64_t macs);
+
+  /// PE-only burst (ReLU / requantization): `ops` datapath operations with no
+  /// weight fetch; operands come from the SRAM I/O buffer, which stays
+  /// powered for the window.
+  BurstResult pe_only_burst(Time now, std::uint64_t ops);
+
+  /// Streams `weights` int8 weights out of memory `m` (reads, for transfers).
+  BurstResult stream_out(Time now, energy::MemoryKind m, std::uint64_t weights);
+
+  /// Streams `weights` int8 weights into memory `m` (writes).
+  BurstResult stream_in(Time now, energy::MemoryKind m, std::uint64_t weights);
+
+  /// Moves `weights` between this module's own MRAM and SRAM (intra-module):
+  /// read source + write destination, serialized through the interface.
+  BurstResult intra_move(Time now, energy::MemoryKind from, energy::MemoryKind to,
+                         std::uint64_t weights);
+
+  [[nodiscard]] Time busy_until() const { return busy_until_; }
+
+  // --- Functional compute (small-scale; validates the burst model) ---------
+
+  /// Timed dot product over real int8 data stored in memory `m` at
+  /// `weight_addr`, against the activation vector `acts` (served from the
+  /// module's SRAM I/O region conceptually). Returns the accumulator.
+  std::int32_t compute_dot(Time now, energy::MemoryKind m, std::size_t weight_addr,
+                           const std::int8_t* acts, std::size_t n, BurstResult* timing);
+
+  /// Functional access to the underlying banks (tests, RISC-V DMA).
+  [[nodiscard]] mem::Bank& bank(energy::MemoryKind m);
+  [[nodiscard]] pe::ProcessingElement& pe() { return pe_; }
+
+  /// Closes all leakage windows at `now` (end of measurement).
+  void settle(Time now);
+
+  /// Per-MAC latency when streaming from memory `m` (t_read + t_pe).
+  [[nodiscard]] Time mac_latency(energy::MemoryKind m) const;
+
+  [[nodiscard]] std::uint64_t total_macs() const { return pe_.mac_count(); }
+
+ private:
+  /// Opens power windows for a burst [start, end] touching memory `m`.
+  void open_windows(Time start, energy::MemoryKind m, bool uses_pe);
+  void close_windows(Time end, energy::MemoryKind m, bool uses_pe);
+  mem::Bank& require_bank(energy::MemoryKind m);
+  [[nodiscard]] const mem::Bank& require_bank(energy::MemoryKind m) const;
+
+  ModuleConfig config_;
+  const energy::ModuleSpec& spec_;
+  std::optional<mem::Bank> mram_;
+  mem::Bank sram_;
+  pe::ProcessingElement pe_;
+  std::uint64_t resident_[2] = {0, 0};  // indexed by MemoryKind
+  Time busy_until_ = Time::zero();
+};
+
+}  // namespace hhpim::pim

@@ -1,0 +1,43 @@
+#include "placement/brute_force.hpp"
+
+namespace hhpim::placement {
+
+BruteForceResult brute_force_placement(const CostModel& model, std::uint64_t total_weights,
+                                       Time tc, std::uint64_t granularity) {
+  BruteForceResult best;
+  const std::uint64_t g = granularity == 0 ? 1 : granularity;
+  const std::uint64_t units = (total_weights + g - 1) / g;
+
+  // x0..x3 in units of g; x3 is implied.
+  for (std::uint64_t x0 = 0; x0 <= units; ++x0) {
+    for (std::uint64_t x1 = 0; x0 + x1 <= units; ++x1) {
+      for (std::uint64_t x2 = 0; x0 + x1 + x2 <= units; ++x2) {
+        const std::uint64_t x3 = units - x0 - x1 - x2;
+        Allocation a;
+        a[Space::kHpMram] = x0 * g;
+        a[Space::kHpSram] = x1 * g;
+        a[Space::kLpMram] = x2 * g;
+        a[Space::kLpSram] = x3 * g;
+        // Trim the final unit so the total is exactly `total_weights`.
+        std::uint64_t excess = a.total() - total_weights;
+        for (const Space s : all_spaces()) {
+          if (excess == 0) break;
+          const std::uint64_t cut = a[s] < excess ? a[s] : excess;
+          a[s] -= cut;
+          excess -= cut;
+        }
+        if (!fits(model, a)) continue;
+        if (task_time(model, a) > tc) continue;
+        const Energy e = task_energy(model, a, tc);
+        if (!best.feasible || e < best.energy) {
+          best.feasible = true;
+          best.alloc = a;
+          best.energy = e;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace hhpim::placement

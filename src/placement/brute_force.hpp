@@ -1,0 +1,28 @@
+// Exhaustive reference optimizer. Same objective as the DP (task dynamic
+// energy + retention share over the time window), solved by enumerating all
+// splits. Exponentially simpler to audit than the DP; used by property tests
+// to verify DP optimality and by the resolution-ablation bench.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "placement/cost_model.hpp"
+
+namespace hhpim::placement {
+
+struct BruteForceResult {
+  bool feasible = false;
+  Allocation alloc;
+  Energy energy;
+};
+
+/// Enumerates all allocations of `total_weights` (in `granularity`-weight
+/// units) across the four spaces, subject to capacities and
+/// task_time(alloc) <= tc. O((K/g)^3) — small inputs only.
+[[nodiscard]] BruteForceResult brute_force_placement(const CostModel& model,
+                                                     std::uint64_t total_weights,
+                                                     Time tc,
+                                                     std::uint64_t granularity = 1);
+
+}  // namespace hhpim::placement

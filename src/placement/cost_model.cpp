@@ -1,0 +1,151 @@
+#include "placement/cost_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hhpim::placement {
+
+const char* to_string(Space s) {
+  switch (s) {
+    case Space::kHpMram: return "HP-MRAM";
+    case Space::kHpSram: return "HP-SRAM";
+    case Space::kLpMram: return "LP-MRAM";
+    case Space::kLpSram: return "LP-SRAM";
+  }
+  return "?";
+}
+
+energy::ClusterKind cluster_of(Space s) {
+  return (s == Space::kHpMram || s == Space::kHpSram)
+             ? energy::ClusterKind::kHighPerformance
+             : energy::ClusterKind::kLowPower;
+}
+
+energy::MemoryKind memory_of(Space s) {
+  return (s == Space::kHpMram || s == Space::kLpMram) ? energy::MemoryKind::kMram
+                                                      : energy::MemoryKind::kSram;
+}
+
+std::array<Space, kSpaceCount> all_spaces() {
+  return {Space::kHpMram, Space::kHpSram, Space::kLpMram, Space::kLpSram};
+}
+
+CostModel CostModel::build(const energy::PowerSpec& spec, const ClusterShape& hp,
+                           const ClusterShape& lp, double uses_per_weight) {
+  CostModel m;
+  m.uses_per_weight = uses_per_weight;
+  for (const Space s : all_spaces()) {
+    const auto cluster = cluster_of(s);
+    const auto mem = memory_of(s);
+    const auto& mod = spec.module(cluster);
+    const ClusterShape& shape = cluster == energy::ClusterKind::kHighPerformance ? hp : lp;
+    const std::uint64_t per_module = mem == energy::MemoryKind::kMram
+                                         ? shape.mram_weights_per_module
+                                         : shape.sram_weights_per_module;
+    SpaceCost c;
+    c.capacity_weights = per_module * shape.modules;
+    c.modules = shape.modules;
+    if (c.capacity_weights == 0) {
+      m.space[static_cast<std::size_t>(s)] = c;
+      continue;
+    }
+    c.read_latency = mod.timing(mem).read;
+    c.write_latency = mod.timing(mem).write;
+    c.read_energy = mod.read_energy(mem);
+    c.write_energy = mod.write_energy(mem);
+    const Time per_mac = mod.timing(mem).read + mod.pe.mac_latency;
+    c.time_per_weight =
+        (per_mac * uses_per_weight) / static_cast<std::int64_t>(shape.modules);
+    c.dyn_per_weight = (mod.read_energy(mem) + mod.pe.mac_energy()) * uses_per_weight;
+    // Retention leakage: only SRAM pays it (MRAM is gated whenever idle; its
+    // in-burst leakage is negligible and measured exactly by the simulator).
+    c.leak_per_weight = mem == energy::MemoryKind::kSram
+                            ? mod.power(mem).leakage * (1.0 / static_cast<double>(per_module))
+                            : Power::zero();
+    m.space[static_cast<std::size_t>(s)] = c;
+  }
+  return m;
+}
+
+std::uint64_t Allocation::total() const {
+  std::uint64_t t = 0;
+  for (const auto w : weights) t += w;
+  return t;
+}
+
+std::string Allocation::to_string() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < kSpaceCount; ++i) {
+    if (i != 0) out << ", ";
+    out << hhpim::placement::to_string(static_cast<Space>(i)) << ": " << weights[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+Time cluster_time(const CostModel& m, const Allocation& a, energy::ClusterKind c) {
+  Time t = Time::zero();
+  for (const Space s : all_spaces()) {
+    if (cluster_of(s) != c) continue;
+    const auto& sc = m.at(s);
+    t += Time::ps(static_cast<std::int64_t>(
+        sc.time_per_weight.as_ps() * static_cast<std::int64_t>(a[s])));
+  }
+  return t;
+}
+
+Time task_time(const CostModel& m, const Allocation& a) {
+  const Time hp = cluster_time(m, a, energy::ClusterKind::kHighPerformance);
+  const Time lp = cluster_time(m, a, energy::ClusterKind::kLowPower);
+  return hp > lp ? hp : lp;
+}
+
+Energy task_dynamic_energy(const CostModel& m, const Allocation& a) {
+  Energy e = Energy::zero();
+  for (const Space s : all_spaces()) {
+    e += m.at(s).dyn_per_weight * static_cast<double>(a[s]);
+  }
+  return e;
+}
+
+Energy retention_energy(const CostModel& m, const Allocation& a, Time window) {
+  Energy e = Energy::zero();
+  for (const Space s : all_spaces()) {
+    e += (m.at(s).leak_per_weight * static_cast<double>(a[s])) * window;
+  }
+  return e;
+}
+
+Energy retention_energy_quantized(const CostModel& m, const Allocation& a, Time window) {
+  Energy e = Energy::zero();
+  for (const Space s : all_spaces()) {
+    const auto& sc = m.space[static_cast<std::size_t>(s)];
+    if (sc.leak_per_weight == Power::zero() || a[s] == 0) continue;
+    const std::uint64_t per_module =
+        (a[s] + sc.modules - 1) / static_cast<std::uint64_t>(sc.modules);
+    const std::uint64_t g = m.gate_granularity_weights;
+    const std::uint64_t cap_per_module =
+        sc.capacity_weights / static_cast<std::uint64_t>(sc.modules);
+    const std::uint64_t powered =
+        std::min(cap_per_module, ((per_module + g - 1) / g) * g);
+    // Modules actually holding weights (the tail module may be empty).
+    const std::uint64_t used_modules =
+        std::min<std::uint64_t>(sc.modules, (a[s] + per_module - 1) / per_module);
+    e += (sc.leak_per_weight * static_cast<double>(powered * used_modules)) * window;
+  }
+  return e;
+}
+
+Energy task_energy(const CostModel& m, const Allocation& a, Time window) {
+  return task_dynamic_energy(m, a) + retention_energy(m, a, window);
+}
+
+bool fits(const CostModel& m, const Allocation& a) {
+  for (const Space s : all_spaces()) {
+    if (a[s] > m.at(s).capacity_weights) return false;
+  }
+  return true;
+}
+
+}  // namespace hhpim::placement

@@ -1,0 +1,113 @@
+// Cost model for the four weight-storage spaces of HH-PIM:
+// HP-MRAM, HP-SRAM, LP-MRAM, LP-SRAM (paper §III-A).
+//
+// Per stored weight and per task (one inference):
+//   * time   t_i = uses_per_weight * (t_read(i) + t_pe(cluster)) / modules
+//     — every MAC streams its weight through the LOAD+EXECUTE pipeline, and
+//     the modules of a cluster run in parallel;
+//   * dynamic energy e_i = uses_per_weight * (E_read(i) + E_mac(cluster));
+//   * retention leakage (SRAM only): holding the weight costs
+//     P_leak / capacity per unit wall time — SRAM cannot be power-gated
+//     without losing the weights, whereas MRAM is gated whenever idle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "energy/power_spec.hpp"
+
+namespace hhpim::placement {
+
+/// Storage spaces. Within each cluster the order is MRAM then SRAM, which is
+/// also the per-cluster order used by the knapsack DP (Algorithm 1 runs over
+/// n/2 = 2 spaces per cluster).
+enum class Space : std::uint8_t { kHpMram = 0, kHpSram = 1, kLpMram = 2, kLpSram = 3 };
+inline constexpr std::size_t kSpaceCount = 4;
+
+[[nodiscard]] const char* to_string(Space s);
+[[nodiscard]] energy::ClusterKind cluster_of(Space s);
+[[nodiscard]] energy::MemoryKind memory_of(Space s);
+[[nodiscard]] std::array<Space, kSpaceCount> all_spaces();
+
+/// Per-space costs, all expressed per *weight*.
+struct SpaceCost {
+  Time time_per_weight;      ///< cluster-parallel task time contribution
+  Energy dyn_per_weight;     ///< dynamic energy per task
+  Power leak_per_weight;     ///< retention leakage while held (0 for MRAM)
+  std::uint64_t capacity_weights = 0;
+
+  // Raw access characteristics used by the movement planner.
+  Time read_latency;         ///< one weight read (not divided by modules)
+  Time write_latency;        ///< one weight write
+  Energy read_energy;        ///< dynamic energy of one weight read
+  Energy write_energy;       ///< dynamic energy of one weight write
+  std::size_t modules = 1;   ///< modules this space spans (parallel lanes)
+};
+
+/// Shape of one cluster as seen by the optimizer.
+struct ClusterShape {
+  std::size_t modules = 4;
+  std::uint64_t mram_weights_per_module = 64 * 1024;  ///< 0 = no MRAM
+  std::uint64_t sram_weights_per_module = 64 * 1024;
+};
+
+struct CostModel {
+  std::array<SpaceCost, kSpaceCount> space;
+  double uses_per_weight = 1.0;
+  /// SRAM power-gating granularity in weights (= bytes for int8); retention
+  /// is paid per powered sub-array, not per weight (mem::BankConfig).
+  std::uint64_t gate_granularity_weights = 16 * 1024;
+
+  [[nodiscard]] const SpaceCost& at(Space s) const {
+    return space[static_cast<std::size_t>(s)];
+  }
+
+  /// Builds the model from the hardware spec. `uses_per_weight` is the
+  /// average number of MACs each stored weight serves per inference
+  /// (pim_macs / params). Spaces with zero capacity (e.g. missing MRAM) get
+  /// capacity 0 and are never selected.
+  [[nodiscard]] static CostModel build(const energy::PowerSpec& spec,
+                                       const ClusterShape& hp, const ClusterShape& lp,
+                                       double uses_per_weight);
+};
+
+/// A placement: weights assigned to each space.
+struct Allocation {
+  std::array<std::uint64_t, kSpaceCount> weights{};
+
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t& operator[](Space s) {
+    return weights[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::uint64_t operator[](Space s) const {
+    return weights[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] bool operator==(const Allocation&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Task time of an allocation: clusters run in parallel, spaces within a
+/// cluster serialize (paper §III-B).
+[[nodiscard]] Time task_time(const CostModel& m, const Allocation& a);
+/// Per-cluster serialized time.
+[[nodiscard]] Time cluster_time(const CostModel& m, const Allocation& a,
+                                energy::ClusterKind c);
+/// Dynamic energy of one task under an allocation.
+[[nodiscard]] Energy task_dynamic_energy(const CostModel& m, const Allocation& a);
+/// Retention leakage charged to one task whose wall-clock share is `window`,
+/// linearized per weight (the knapsack's view).
+[[nodiscard]] Energy retention_energy(const CostModel& m, const Allocation& a, Time window);
+/// Retention leakage with sub-array gating quantization: weights spread
+/// evenly over a space's modules, each module powering whole
+/// gate-granularity sub-arrays (matches the simulator's Bank model).
+[[nodiscard]] Energy retention_energy_quantized(const CostModel& m, const Allocation& a,
+                                                Time window);
+/// Total task energy (dynamic + retention over `window`).
+[[nodiscard]] Energy task_energy(const CostModel& m, const Allocation& a, Time window);
+/// Capacity check.
+[[nodiscard]] bool fits(const CostModel& m, const Allocation& a);
+
+}  // namespace hhpim::placement

@@ -1,0 +1,108 @@
+#include "placement/knapsack.hpp"
+
+#include <stdexcept>
+
+namespace hhpim::placement {
+
+ClusterDpTable ClusterDpTable::build(const ClusterItems& items, int t_steps, int k_blocks) {
+  if (t_steps < 0 || k_blocks < 0) {
+    throw std::invalid_argument("ClusterDpTable: negative dimensions");
+  }
+  for (const auto& it : items) {
+    if (it.time_steps <= 0) {
+      throw std::invalid_argument("ClusterDpTable: block time must be >= 1 step");
+    }
+  }
+
+  ClusterDpTable table;
+  table.t_steps_ = t_steps;
+  table.k_blocks_ = k_blocks;
+  const std::size_t cells =
+      static_cast<std::size_t>(t_steps + 1) * static_cast<std::size_t>(k_blocks + 1);
+
+  auto at = [&](std::vector<double>& v, int t, int k) -> double& {
+    return v[static_cast<std::size_t>(t) * static_cast<std::size_t>(k_blocks + 1) +
+             static_cast<std::size_t>(k)];
+  };
+  auto atc = [&](std::vector<std::uint16_t>& v, int t, int k) -> std::uint16_t& {
+    return v[static_cast<std::size_t>(t) * static_cast<std::size_t>(k_blocks + 1) +
+             static_cast<std::size_t>(k)];
+  };
+
+  // Rolling the space dimension: `prev` is dp[i-1], `cur` is dp[i].
+  // Base case (i = 0, no spaces yet): only k = 0 is feasible, at zero energy
+  // (paper lines 2-3). cnt[i] is the paper's count[][][]: the number of
+  // blocks the optimal path placed into space i; it traces the allocation
+  // and enforces the per-space capacity.
+  std::vector<double> prev(cells, kInfEnergy);
+  std::vector<double> cur;
+  std::vector<std::uint16_t> cnt(cells, 0);
+  for (int t = 0; t <= t_steps; ++t) at(prev, t, 0) = 0.0;
+
+  for (int i = 0; i < 2; ++i) {  // n/2 spaces per cluster (paper line 4)
+    const DpItem& item = items[static_cast<std::size_t>(i)];
+    cur.assign(cells, kInfEnergy);
+    std::fill(cnt.begin(), cnt.end(), 0);
+    for (int t = 0; t <= t_steps; ++t) at(cur, t, 0) = 0.0;
+
+    for (int k = 1; k <= k_blocks; ++k) {    // paper line 5
+      for (int t = 0; t <= t_steps; ++t) {   // paper line 6
+        // Option A: carry from the previous space level (paper line 12);
+        // that path placed nothing in space i.
+        double best = at(prev, t, k);
+        std::uint16_t best_cnt = 0;
+        // Option B: one more block into space i (paper line 9), if the block
+        // fits the remaining time and the space has capacity left.
+        if (item.time_steps <= t) {
+          const double from = at(cur, t - item.time_steps, k - 1);
+          if (from < kInfEnergy) {
+            const std::uint16_t used = atc(cnt, t - item.time_steps, k - 1);
+            if (static_cast<int>(used) < item.cap_blocks) {
+              const double e = from + item.energy_pj;
+              if (e < best) {
+                best = e;
+                best_cnt = static_cast<std::uint16_t>(used + 1);
+              }
+            }
+          }
+        }
+        at(cur, t, k) = best;
+        atc(cnt, t, k) = best_cnt;   // paper lines 10 / 13
+      }
+    }
+    if (i == 0) prev.swap(cur);
+  }
+
+  // After the final level, cnt holds the SRAM (space 1) block count of the
+  // optimal path; MRAM gets the remainder.
+  table.dp_ = std::move(cur);
+  table.cnt_ = std::move(cnt);
+  return table;
+}
+
+std::pair<int, int> ClusterDpTable::split(int t, int k) const {
+  const int sram = cnt_[index(t, k)];
+  return {k - sram, sram};
+}
+
+CombineResult combine_clusters(const ClusterDpTable& hp, const ClusterDpTable& lp,
+                               int k_total, int t) {
+  CombineResult best;
+  for (int k_hp = 0; k_hp <= k_total; ++k_hp) {
+    const int k_lp = k_total - k_hp;
+    if (k_hp > hp.k_blocks() || k_lp > lp.k_blocks()) continue;
+    const double e_hp = hp.energy(t, k_hp);
+    const double e_lp = lp.energy(t, k_lp);
+    if (e_hp >= kInfEnergy || e_lp >= kInfEnergy) continue;  // paper line 6
+    const double e = e_hp + e_lp;
+    if (e < best.energy_pj) {  // paper lines 7-10
+      best.feasible = true;
+      best.energy_pj = e;
+      best.k_hp = k_hp;
+      best.k_lp = k_lp;
+    }
+  }
+  return best;
+}
+
+}  // namespace hhpim::placement

@@ -1,0 +1,76 @@
+// Algorithm 1 (KNAPSACK_MIN_ENERGY) and Algorithm 2 (SET_ALLOCATION_STATE).
+//
+// The placement problem is a hybrid unbounded / multi-choice knapsack
+// (paper §III-A): choose how many weight blocks x_i go to each storage space
+// to minimize energy, subject to Σ t_i·x_i <= t_constraint and Σ x_i = k.
+// Because the two clusters execute in parallel while MRAM/SRAM inside a
+// cluster serialize, Algorithm 1 builds one DP table per cluster (over its
+// n/2 = 2 spaces) and Algorithm 2 combines the two tables, minimizing
+// dp_hp[t][k_hp] + dp_lp[t][K - k_hp] over k_hp.
+//
+// Work is done in *blocks* of weights and *steps* of time (the paper's
+// resolution limiting, §III-B); conversions live in lut.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace hhpim::placement {
+
+/// One storage space as seen by the DP, costs per block.
+struct DpItem {
+  int time_steps = 1;        ///< quantized processing time of one block
+  double energy_pj = 0.0;    ///< energy of one block (incl. amortized leakage)
+  int cap_blocks = 0;        ///< capacity of the space in blocks
+};
+
+/// Per-cluster spaces in paper order: [0] = MRAM, [1] = SRAM.
+using ClusterItems = std::array<DpItem, 2>;
+
+inline constexpr double kInfEnergy = std::numeric_limits<double>::infinity();
+
+/// The DP table of one cluster: dp[t][k] = minimum energy to place exactly k
+/// blocks in this cluster within t time steps (infinity if infeasible).
+class ClusterDpTable {
+ public:
+  /// Algorithm 1. O(n/2 * t_steps * k_blocks).
+  static ClusterDpTable build(const ClusterItems& items, int t_steps, int k_blocks);
+
+  [[nodiscard]] double energy(int t, int k) const { return dp_[index(t, k)]; }
+  [[nodiscard]] bool feasible(int t, int k) const { return energy(t, k) < kInfEnergy; }
+
+  /// Blocks placed in (MRAM, SRAM) on the optimal path for (t, k).
+  [[nodiscard]] std::pair<int, int> split(int t, int k) const;
+
+  [[nodiscard]] int t_steps() const { return t_steps_; }
+  [[nodiscard]] int k_blocks() const { return k_blocks_; }
+
+ private:
+  [[nodiscard]] std::size_t index(int t, int k) const {
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(k_blocks_ + 1) +
+           static_cast<std::size_t>(k);
+  }
+  int t_steps_ = 0;
+  int k_blocks_ = 0;
+  std::vector<double> dp_;          // (t_steps+1) x (k_blocks+1)
+  std::vector<std::uint16_t> cnt_;  // blocks in SRAM (space index 1) on best path
+};
+
+/// Result of Algorithm 2 at one time constraint.
+struct CombineResult {
+  bool feasible = false;
+  int k_hp = 0;          ///< blocks assigned to the HP cluster
+  int k_lp = 0;
+  double energy_pj = kInfEnergy;
+};
+
+/// Algorithm 2 inner loop: optimal (k_hp, k_lp) for `k_total` blocks within
+/// `t` steps. O(k_total).
+[[nodiscard]] CombineResult combine_clusters(const ClusterDpTable& hp,
+                                             const ClusterDpTable& lp,
+                                             int k_total, int t);
+
+}  // namespace hhpim::placement

@@ -1,0 +1,154 @@
+#include "placement/lut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hhpim::placement {
+
+namespace {
+
+/// Quantized per-block DP item for one space at a given time constraint.
+DpItem make_item(const SpaceCost& sc, std::uint64_t block_weights, Time t_step, Time tc) {
+  DpItem item;
+  if (sc.capacity_weights == 0) {
+    item.time_steps = 1;
+    item.cap_blocks = 0;
+    return item;
+  }
+  const double block_time_ps =
+      sc.time_per_weight.as_ps() * static_cast<double>(block_weights);
+  item.time_steps =
+      std::max(1, static_cast<int>(std::ceil(block_time_ps / static_cast<double>(t_step.as_ps()))));
+  const Energy dyn = sc.dyn_per_weight * static_cast<double>(block_weights);
+  const Energy retention = (sc.leak_per_weight * static_cast<double>(block_weights)) * tc;
+  item.energy_pj = (dyn + retention).as_pj();
+  item.cap_blocks = static_cast<int>(sc.capacity_weights / block_weights);
+  return item;
+}
+
+}  // namespace
+
+AllocationLut AllocationLut::build(const CostModel& model, const LutParams& params) {
+  if (params.slice <= Time::zero() || params.total_weights == 0 ||
+      params.t_entries <= 0 || params.k_blocks <= 0) {
+    throw std::invalid_argument("AllocationLut: bad parameters");
+  }
+
+  AllocationLut lut;
+  lut.params_ = params;
+
+  const std::uint64_t block =
+      (params.total_weights + static_cast<std::uint64_t>(params.k_blocks) - 1) /
+      static_cast<std::uint64_t>(params.k_blocks);
+  const int k_total = static_cast<int>(
+      (params.total_weights + block - 1) / block);
+  const Time t_step = Time::ps(params.slice.as_ps() / params.t_entries);
+  if (t_step <= Time::zero()) {
+    throw std::invalid_argument("AllocationLut: slice too short for t_entries");
+  }
+
+  // Internal DP time resolution: fine enough that per-block ceil rounding
+  // stays below ~1/kStepsPerBlock of the constraint even if every block
+  // lands in one cluster.
+  constexpr int kStepsPerBlock = 16;
+  const int internal_steps = k_total * kStepsPerBlock;
+
+  lut.entries_.reserve(static_cast<std::size_t>(params.t_entries));
+  for (int s = 1; s <= params.t_entries; ++s) {
+    const Time tc = Time::ps(t_step.as_ps() * s);
+    const Time t_int = Time::ps(std::max<std::int64_t>(1, tc.as_ps() / internal_steps));
+
+    const ClusterItems hp_items = {
+        make_item(model.at(Space::kHpMram), block, t_int, tc),
+        make_item(model.at(Space::kHpSram), block, t_int, tc),
+    };
+    const ClusterItems lp_items = {
+        make_item(model.at(Space::kLpMram), block, t_int, tc),
+        make_item(model.at(Space::kLpSram), block, t_int, tc),
+    };
+
+    // Algorithm 1, once per cluster, with this entry's time constraint as
+    // the end of the quantized time axis.
+    const auto hp = ClusterDpTable::build(hp_items, internal_steps, k_total);
+    const auto lp = ClusterDpTable::build(lp_items, internal_steps, k_total);
+    // Algorithm 2.
+    const CombineResult comb = combine_clusters(hp, lp, k_total, internal_steps);
+
+    LutEntry entry;
+    entry.t_constraint = tc;
+    entry.feasible = comb.feasible;
+    if (comb.feasible) {
+      const auto [hp_mram, hp_sram] = hp.split(internal_steps, comb.k_hp);
+      const auto [lp_mram, lp_sram] = lp.split(internal_steps, comb.k_lp);
+      Allocation a;
+      a[Space::kHpMram] = static_cast<std::uint64_t>(hp_mram) * block;
+      a[Space::kHpSram] = static_cast<std::uint64_t>(hp_sram) * block;
+      a[Space::kLpMram] = static_cast<std::uint64_t>(lp_mram) * block;
+      a[Space::kLpSram] = static_cast<std::uint64_t>(lp_sram) * block;
+      // Block rounding can overshoot K; trim the excess from the largest
+      // shares (fewer weights can only reduce time and energy).
+      std::uint64_t excess = a.total() - params.total_weights;
+      while (excess > 0) {
+        Space largest = Space::kHpMram;
+        for (const Space sp : all_spaces()) {
+          if (a[sp] > a[largest]) largest = sp;
+        }
+        const std::uint64_t cut = std::min(excess, a[largest]);
+        a[largest] -= cut;
+        excess -= cut;
+      }
+      entry.alloc = a;
+      // Prediction uses the gating-quantized retention (what the hardware
+      // pays); the DP itself optimizes the linearized form per Algorithm 1.
+      entry.predicted_task_energy =
+          task_dynamic_energy(model, a) + retention_energy_quantized(model, a, tc);
+    }
+    lut.entries_.push_back(entry);
+  }
+  return lut;
+}
+
+const LutEntry& AllocationLut::lookup(Time tc) const {
+  // Entries are at t_step, 2*t_step, ...; take the largest entry <= tc.
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), tc,
+      [](Time value, const LutEntry& e) { return value < e.t_constraint; });
+  if (it == entries_.begin()) return entries_.front();
+  return *(it - 1);
+}
+
+const LutEntry* AllocationLut::lookup_or_peak(Time tc) const {
+  const LutEntry& floor_entry = lookup(tc);
+  if (floor_entry.feasible) return &floor_entry;
+  for (const auto& e : entries_) {
+    if (e.feasible) return &e;
+  }
+  return nullptr;
+}
+
+Time AllocationLut::peak_t_constraint() const {
+  for (const auto& e : entries_) {
+    if (e.feasible) return e.t_constraint;
+  }
+  return Time::max();
+}
+
+ResolutionChoice pick_resolution(Time slice, double budget_fraction, double cells_per_us,
+                                 int max_resolution) {
+  // Construction cost: sum over entries s of  2 clusters * 2 spaces * s * K
+  // cells  ~  2 * R^2 * K  with K = R  =>  2 * R^3 cells.
+  const double budget_us = slice.as_us() * budget_fraction;
+  int r = 8;
+  ResolutionChoice best{r, r, 0.0};
+  while (r <= max_resolution) {
+    const double cells = 2.0 * std::pow(static_cast<double>(r), 3);
+    const double us = cells / cells_per_us;
+    if (us > budget_us) break;
+    best = {r, r, us};
+    r *= 2;
+  }
+  return best;
+}
+
+}  // namespace hhpim::placement

@@ -1,0 +1,83 @@
+// The allocation_state look-up table (paper §III-B).
+//
+// Built once at application initialization, the LUT maps each quantized time
+// constraint t_constraint in (0, T] to the energy-optimal weight allocation
+// across the four spaces. At run time the scheduler just indexes it.
+//
+// Construction runs Algorithms 1 & 2 per LUT entry. The per-block energy
+// fed to the DP is  e_i(tc) = uses * E_dyn(i) + P_retention(i) * tc  — the
+// dynamic cost of the task plus the task's wall-clock share of the SRAM
+// retention leakage. (With purely constant e_i the optimizer would
+// degenerate to all-SRAM, since SRAM dominates MRAM in both speed and
+// per-access energy; the retention term is what makes MRAM attractive at
+// relaxed deadlines, which is exactly the behaviour of the paper's Fig. 6.)
+//
+// Resolution is limited (the paper's "1 % of the time slice" rule) by
+// pick_resolution(): block/step counts are chosen so the estimated
+// construction cost on the edge device stays under budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "placement/cost_model.hpp"
+#include "placement/knapsack.hpp"
+
+namespace hhpim::placement {
+
+struct LutParams {
+  Time slice;                  ///< T: the time-slice length
+  std::uint64_t total_weights = 0;  ///< K
+  int t_entries = 128;         ///< LUT entries over (0, T]
+  int k_blocks = 128;          ///< weight-block resolution
+};
+
+struct LutEntry {
+  Time t_constraint;
+  bool feasible = false;
+  Allocation alloc;            ///< weights per space (sums to K when feasible)
+  Energy predicted_task_energy;
+};
+
+class AllocationLut {
+ public:
+  /// Builds the LUT. O(t_entries^2 * k_blocks) DP cells total.
+  static AllocationLut build(const CostModel& model, const LutParams& params);
+
+  /// The entry for the largest tabulated t_constraint <= `tc` (so the
+  /// returned allocation is guaranteed feasible for `tc`); clamps to the
+  /// first/last entry outside the domain.
+  [[nodiscard]] const LutEntry& lookup(Time tc) const;
+
+  /// Like lookup(), but if the floor entry is infeasible (tc sits inside or
+  /// just left of the peak-performance boundary), returns the first feasible
+  /// entry — the peak placement — or nullptr if the whole table is
+  /// infeasible. The caller re-checks the real task time against tc.
+  [[nodiscard]] const LutEntry* lookup_or_peak(Time tc) const;
+
+  [[nodiscard]] const std::vector<LutEntry>& entries() const { return entries_; }
+  [[nodiscard]] Time slice() const { return params_.slice; }
+  [[nodiscard]] const LutParams& params() const { return params_; }
+  /// Smallest feasible t_constraint (the peak-performance point; left of it
+  /// is the paper's grey "Not Possible" region).
+  [[nodiscard]] Time peak_t_constraint() const;
+
+ private:
+  LutParams params_;
+  std::vector<LutEntry> entries_;
+};
+
+/// The paper's resolution limiter: picks (t_entries, k_blocks) so that LUT
+/// construction costs at most `budget_fraction` (default 1 %) of the time
+/// slice on a device that evaluates `cells_per_us` DP cells per microsecond.
+struct ResolutionChoice {
+  int t_entries;
+  int k_blocks;
+  double estimated_us;  ///< estimated on-device construction time
+};
+[[nodiscard]] ResolutionChoice pick_resolution(Time slice, double budget_fraction = 0.01,
+                                               double cells_per_us = 1000.0,
+                                               int max_resolution = 512);
+
+}  // namespace hhpim::placement

@@ -1,0 +1,79 @@
+#include "placement/movement.hpp"
+
+#include <algorithm>
+
+namespace hhpim::placement {
+
+std::uint64_t MovementPlan::total() const {
+  std::uint64_t t = 0;
+  for (const auto& row : moved) {
+    for (const auto v : row) t += v;
+  }
+  return t;
+}
+
+MovementPlan plan_movement(const Allocation& from, const Allocation& to) {
+  std::array<std::int64_t, kSpaceCount> delta{};
+  for (std::size_t i = 0; i < kSpaceCount; ++i) {
+    delta[i] = static_cast<std::int64_t>(to.weights[i]) -
+               static_cast<std::int64_t>(from.weights[i]);
+  }
+
+  MovementPlan plan;
+  auto transfer = [&](std::size_t src, std::size_t dst) {
+    if (delta[src] >= 0 || delta[dst] <= 0) return;
+    const std::uint64_t amount = static_cast<std::uint64_t>(
+        std::min(-delta[src], delta[dst]));
+    plan.moved[src][dst] += amount;
+    delta[src] += static_cast<std::int64_t>(amount);
+    delta[dst] -= static_cast<std::int64_t>(amount);
+  };
+
+  // Pass 1: intra-cluster moves (HP-MRAM <-> HP-SRAM, LP-MRAM <-> LP-SRAM).
+  transfer(static_cast<std::size_t>(Space::kHpMram), static_cast<std::size_t>(Space::kHpSram));
+  transfer(static_cast<std::size_t>(Space::kHpSram), static_cast<std::size_t>(Space::kHpMram));
+  transfer(static_cast<std::size_t>(Space::kLpMram), static_cast<std::size_t>(Space::kLpSram));
+  transfer(static_cast<std::size_t>(Space::kLpSram), static_cast<std::size_t>(Space::kLpMram));
+  // Pass 2: whatever remains crosses clusters.
+  for (std::size_t src = 0; src < kSpaceCount; ++src) {
+    for (std::size_t dst = 0; dst < kSpaceCount; ++dst) {
+      if (src != dst) transfer(src, dst);
+    }
+  }
+  return plan;
+}
+
+MovementCost estimate_movement(const CostModel& model, const MovementPlan& plan,
+                               const MovementParams& params) {
+  MovementCost cost;
+  Time longest = Time::zero();
+  for (std::size_t src = 0; src < kSpaceCount; ++src) {
+    for (std::size_t dst = 0; dst < kSpaceCount; ++dst) {
+      const std::uint64_t w = plan.moved[src][dst];
+      if (w == 0) continue;
+      const auto& s = model.space[src];
+      const auto& d = model.space[dst];
+      const std::size_t lanes = std::max<std::size_t>(1, std::min(s.modules, d.modules));
+      const double per_lane = static_cast<double>(w) / static_cast<double>(lanes);
+      // Pipelined stages: source reads, interface transfer, destination
+      // writes — the slowest stage dominates.
+      const double read_ns = s.read_latency.as_ns() * per_lane;
+      const double write_ns = d.write_latency.as_ns() * per_lane;
+      const bool cross = cluster_of(static_cast<Space>(src)) !=
+                         cluster_of(static_cast<Space>(dst));
+      const double xfer_ns =
+          cross ? per_lane / params.bytes_per_ns_per_module : 0.0;
+      Time stream = Time::ns(std::max({read_ns, write_ns, xfer_ns}));
+      if (cross) stream += params.interface_latency;
+      longest = std::max(longest, stream);
+
+      cost.energy += s.read_energy * static_cast<double>(w);
+      cost.energy += d.write_energy * static_cast<double>(w);
+      if (cross) cost.energy += params.energy_per_byte * static_cast<double>(w);
+    }
+  }
+  cost.time = longest;
+  return cost;
+}
+
+}  // namespace hhpim::placement

@@ -1,0 +1,52 @@
+// Movement planning between consecutive placements.
+//
+// When the scheduler switches from allocation A to allocation B, weights must
+// move between spaces (HP <-> LP through the Data Rearrange Buffer, MRAM <->
+// SRAM inside modules). The paper charges this overhead against the slice
+// budget before computing t_constraint; this planner produces the transfer
+// matrix and a time/energy estimate matching the DataAllocator's pipeline
+// model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "placement/cost_model.hpp"
+
+namespace hhpim::placement {
+
+/// moved[from][to] = weights to move from space `from` to space `to`.
+struct MovementPlan {
+  std::array<std::array<std::uint64_t, kSpaceCount>, kSpaceCount> moved{};
+
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t at(Space from, Space to) const {
+    return moved[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  }
+};
+
+/// Matches surpluses to deficits, preferring intra-cluster moves (cheaper:
+/// no rearrange-buffer crossing) before cross-cluster ones.
+[[nodiscard]] MovementPlan plan_movement(const Allocation& from, const Allocation& to);
+
+struct MovementParams {
+  /// MEM-interface bandwidth per module lane (matches DataAllocatorConfig).
+  double bytes_per_ns_per_module = 4.0;
+  Time interface_latency = Time::ns(2.0);
+  Energy energy_per_byte = Energy::pj(0.12);
+};
+
+struct MovementCost {
+  Time time;
+  Energy energy;
+};
+
+/// Pipeline estimate of executing `plan`: per source->destination stream,
+/// reads / transfer / writes overlap, so the slowest stage dominates; streams
+/// touching disjoint spaces run in parallel and the longest stream sets the
+/// completion time.
+[[nodiscard]] MovementCost estimate_movement(const CostModel& model, const MovementPlan& plan,
+                                             const MovementParams& params = {});
+
+}  // namespace hhpim::placement

@@ -1,0 +1,98 @@
+// System bus of the host processor (Fig. 3): the RISC-V core talks to RAM
+// and memory-mapped devices (UART-style console, the PIM instruction queue
+// port) through this bus. Addresses are 32-bit; devices are mapped at fixed
+// base addresses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hhpim::riscv {
+
+/// A bus-attached device. Accesses are little-endian, `size` is 1, 2 or 4,
+/// and `addr` is the offset from the device base.
+class Device {
+ public:
+  virtual ~Device() = default;
+  virtual std::uint32_t load(std::uint32_t addr, unsigned size) = 0;
+  virtual void store(std::uint32_t addr, unsigned size, std::uint32_t value) = 0;
+};
+
+/// Plain RAM.
+class Ram : public Device {
+ public:
+  explicit Ram(std::size_t bytes) : data_(bytes, 0) {}
+
+  std::uint32_t load(std::uint32_t addr, unsigned size) override;
+  void store(std::uint32_t addr, unsigned size, std::uint32_t value) override;
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] const std::uint8_t* data() const { return data_.data(); }
+  /// Copies a blob into RAM (program loading).
+  void load_image(std::uint32_t addr, const std::uint8_t* bytes, std::size_t n);
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// Write-only console at offset 0 (one byte per store); tests read back the
+/// collected output.
+class Console : public Device {
+ public:
+  std::uint32_t load(std::uint32_t, unsigned) override { return 0; }
+  void store(std::uint32_t addr, unsigned size, std::uint32_t value) override;
+  [[nodiscard]] const std::string& output() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Memory-mapped PIM port:
+///   offset 0x0 (write): push one encoded PIM instruction into the queue
+///   offset 0x4 (read):  status — bit0 = queue full, bit1 = queue empty
+///   offset 0x8 (write): doorbell — the owner's callback runs the queue
+class PimPort : public Device {
+ public:
+  using PushFn = std::function<bool(std::uint32_t)>;   ///< returns false if full
+  using StatusFn = std::function<std::uint32_t()>;
+  using DoorbellFn = std::function<void()>;
+
+  PimPort(PushFn push, StatusFn status, DoorbellFn doorbell);
+
+  std::uint32_t load(std::uint32_t addr, unsigned size) override;
+  void store(std::uint32_t addr, unsigned size, std::uint32_t value) override;
+
+  [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
+  [[nodiscard]] std::uint64_t doorbells() const { return doorbells_; }
+
+ private:
+  PushFn push_;
+  StatusFn status_;
+  DoorbellFn doorbell_;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t doorbells_ = 0;
+};
+
+/// The address decoder.
+class Bus {
+ public:
+  /// Maps `device` at [base, base+size). Overlapping regions are rejected.
+  void map(std::uint32_t base, std::uint32_t size, Device* device);
+
+  std::uint32_t load(std::uint32_t addr, unsigned size);
+  void store(std::uint32_t addr, unsigned size, std::uint32_t value);
+
+ private:
+  struct Region {
+    std::uint32_t base;
+    std::uint32_t size;
+    Device* device;
+  };
+  Region* find(std::uint32_t addr, unsigned size);
+  std::vector<Region> regions_;
+};
+
+}  // namespace hhpim::riscv

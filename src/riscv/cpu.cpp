@@ -1,0 +1,203 @@
+#include "riscv/cpu.hpp"
+
+namespace hhpim::riscv {
+
+namespace {
+std::int32_t sext(std::uint32_t v, unsigned bits) {
+  const std::uint32_t m = 1u << (bits - 1);
+  return static_cast<std::int32_t>((v ^ m) - m);
+}
+}  // namespace
+
+Cpu::Cpu(Bus* bus, std::uint32_t pc) : bus_(bus), pc_(pc) {}
+
+bool Cpu::step() {
+  if (halted()) return false;
+  const std::uint32_t inst = bus_->load(pc_, 4);
+  execute(inst);
+  ++retired_;
+  return !halted();
+}
+
+std::uint64_t Cpu::run(std::uint64_t max_steps) {
+  std::uint64_t n = 0;
+  while (n < max_steps && step()) ++n;
+  if (!halted() && n >= max_steps) halt_ = HaltReason::kMaxSteps;
+  return n;
+}
+
+void Cpu::execute(std::uint32_t inst) {
+  const std::uint32_t opcode = inst & 0x7f;
+  const unsigned rd = (inst >> 7) & 0x1f;
+  const unsigned rs1 = (inst >> 15) & 0x1f;
+  const unsigned rs2 = (inst >> 20) & 0x1f;
+  const std::uint32_t funct3 = (inst >> 12) & 0x7;
+  const std::uint32_t funct7 = (inst >> 25) & 0x7f;
+
+  std::uint32_t next_pc = pc_ + 4;
+  const std::uint32_t a = x_[rs1];
+  const std::uint32_t b = x_[rs2];
+
+  auto wr = [&](std::uint32_t v) {
+    if (rd != 0) x_[rd] = v;
+  };
+
+  switch (opcode) {
+    case 0x37:  // LUI
+      wr(inst & 0xfffff000);
+      break;
+    case 0x17:  // AUIPC
+      wr(pc_ + (inst & 0xfffff000));
+      break;
+    case 0x6f: {  // JAL
+      const std::uint32_t imm = ((inst >> 31) << 20) | (((inst >> 12) & 0xff) << 12) |
+                                (((inst >> 20) & 1) << 11) | (((inst >> 21) & 0x3ff) << 1);
+      wr(pc_ + 4);
+      next_pc = pc_ + static_cast<std::uint32_t>(sext(imm, 21));
+      break;
+    }
+    case 0x67: {  // JALR
+      const std::int32_t imm = sext(inst >> 20, 12);
+      const std::uint32_t target = (a + static_cast<std::uint32_t>(imm)) & ~1u;
+      wr(pc_ + 4);
+      next_pc = target;
+      break;
+    }
+    case 0x63: {  // branches
+      const std::uint32_t imm = ((inst >> 31) << 12) | (((inst >> 7) & 1) << 11) |
+                                (((inst >> 25) & 0x3f) << 5) | (((inst >> 8) & 0xf) << 1);
+      const std::int32_t off = sext(imm, 13);
+      bool take = false;
+      switch (funct3) {
+        case 0: take = a == b; break;                                             // BEQ
+        case 1: take = a != b; break;                                             // BNE
+        case 4: take = static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b); break;   // BLT
+        case 5: take = static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b); break;  // BGE
+        case 6: take = a < b; break;                                              // BLTU
+        case 7: take = a >= b; break;                                             // BGEU
+        default: halt_ = HaltReason::kBadInstruction; return;
+      }
+      if (take) next_pc = pc_ + static_cast<std::uint32_t>(off);
+      break;
+    }
+    case 0x03: {  // loads
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(sext(inst >> 20, 12));
+      switch (funct3) {
+        case 0: wr(static_cast<std::uint32_t>(sext(bus_->load(addr, 1), 8))); break;   // LB
+        case 1: wr(static_cast<std::uint32_t>(sext(bus_->load(addr, 2), 16))); break;  // LH
+        case 2: wr(bus_->load(addr, 4)); break;                                        // LW
+        case 4: wr(bus_->load(addr, 1)); break;                                        // LBU
+        case 5: wr(bus_->load(addr, 2)); break;                                        // LHU
+        default: halt_ = HaltReason::kBadInstruction; return;
+      }
+      break;
+    }
+    case 0x23: {  // stores
+      const std::uint32_t imm = ((inst >> 25) << 5) | ((inst >> 7) & 0x1f);
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(sext(imm, 12));
+      switch (funct3) {
+        case 0: bus_->store(addr, 1, b); break;  // SB
+        case 1: bus_->store(addr, 2, b); break;  // SH
+        case 2: bus_->store(addr, 4, b); break;  // SW
+        default: halt_ = HaltReason::kBadInstruction; return;
+      }
+      break;
+    }
+    case 0x13: {  // OP-IMM
+      const std::int32_t imm = sext(inst >> 20, 12);
+      const std::uint32_t ui = static_cast<std::uint32_t>(imm);
+      const unsigned sh = rs2;  // shamt
+      switch (funct3) {
+        case 0: wr(a + ui); break;                                                     // ADDI
+        case 2: wr(static_cast<std::int32_t>(a) < imm ? 1 : 0); break;                 // SLTI
+        case 3: wr(a < ui ? 1 : 0); break;                                             // SLTIU
+        case 4: wr(a ^ ui); break;                                                     // XORI
+        case 6: wr(a | ui); break;                                                     // ORI
+        case 7: wr(a & ui); break;                                                     // ANDI
+        case 1: wr(a << sh); break;                                                    // SLLI
+        case 5:
+          if ((funct7 & 0x20) != 0) {
+            wr(static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> sh));        // SRAI
+          } else {
+            wr(a >> sh);                                                               // SRLI
+          }
+          break;
+        default: halt_ = HaltReason::kBadInstruction; return;
+      }
+      break;
+    }
+    case 0x33: {  // OP
+      if (funct7 == 0x01) {  // M extension
+        const std::int64_t sa = static_cast<std::int32_t>(a);
+        const std::int64_t sb = static_cast<std::int32_t>(b);
+        const std::uint64_t ua = a;
+        const std::uint64_t ub = b;
+        switch (funct3) {
+          case 0: wr(a * b); break;                                                    // MUL
+          case 1: wr(static_cast<std::uint32_t>((sa * sb) >> 32)); break;              // MULH
+          case 2: wr(static_cast<std::uint32_t>((sa * static_cast<std::int64_t>(ub)) >> 32)); break;  // MULHSU
+          case 3: wr(static_cast<std::uint32_t>((ua * ub) >> 32)); break;              // MULHU
+          case 4:                                                                      // DIV
+            if (b == 0) {
+              wr(0xffffffffu);
+            } else if (a == 0x80000000u && b == 0xffffffffu) {
+              wr(0x80000000u);
+            } else {
+              wr(static_cast<std::uint32_t>(static_cast<std::int32_t>(a) /
+                                            static_cast<std::int32_t>(b)));
+            }
+            break;
+          case 5: wr(b == 0 ? 0xffffffffu : a / b); break;                             // DIVU
+          case 6:                                                                      // REM
+            if (b == 0) {
+              wr(a);
+            } else if (a == 0x80000000u && b == 0xffffffffu) {
+              wr(0);
+            } else {
+              wr(static_cast<std::uint32_t>(static_cast<std::int32_t>(a) %
+                                            static_cast<std::int32_t>(b)));
+            }
+            break;
+          case 7: wr(b == 0 ? a : a % b); break;                                       // REMU
+          default: halt_ = HaltReason::kBadInstruction; return;
+        }
+      } else {
+        switch (funct3) {
+          case 0: wr((funct7 & 0x20) != 0 ? a - b : a + b); break;                     // ADD/SUB
+          case 1: wr(a << (b & 0x1f)); break;                                          // SLL
+          case 2: wr(static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b) ? 1 : 0); break;  // SLT
+          case 3: wr(a < b ? 1 : 0); break;                                            // SLTU
+          case 4: wr(a ^ b); break;                                                    // XOR
+          case 5:
+            if ((funct7 & 0x20) != 0) {
+              wr(static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 0x1f)));  // SRA
+            } else {
+              wr(a >> (b & 0x1f));                                                     // SRL
+            }
+            break;
+          case 6: wr(a | b); break;                                                    // OR
+          case 7: wr(a & b); break;                                                    // AND
+          default: halt_ = HaltReason::kBadInstruction; return;
+        }
+      }
+      break;
+    }
+    case 0x0f:  // FENCE — no-op in a single-core in-order model
+      break;
+    case 0x73:  // SYSTEM
+      if (inst == 0x00000073) {
+        halt_ = HaltReason::kEcall;
+      } else if (inst == 0x00100073) {
+        halt_ = HaltReason::kEbreak;
+      } else {
+        halt_ = HaltReason::kBadInstruction;
+      }
+      return;
+    default:
+      halt_ = HaltReason::kBadInstruction;
+      return;
+  }
+  pc_ = next_pc;
+}
+
+}  // namespace hhpim::riscv

@@ -1,0 +1,58 @@
+// RV32IM instruction-set simulator.
+//
+// The paper's processor uses a RISC-V Rocket core as the host that feeds PIM
+// instructions to HH-PIM over AXI; this ISS plays that role. It implements
+// the full RV32I base ISA plus the M extension, little-endian, no CSRs or
+// traps — ECALL/EBREAK halt the core (the convention used by our benchmark
+// programs).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "riscv/bus.hpp"
+
+namespace hhpim::riscv {
+
+enum class HaltReason : std::uint8_t { kRunning, kEcall, kEbreak, kMaxSteps, kBadInstruction };
+
+class Cpu {
+ public:
+  explicit Cpu(Bus* bus, std::uint32_t pc = 0);
+
+  /// Executes one instruction. Returns false if the core is halted.
+  bool step();
+
+  /// Runs until halt or `max_steps`. Returns the number of retired
+  /// instructions.
+  std::uint64_t run(std::uint64_t max_steps = 1'000'000);
+
+  [[nodiscard]] std::uint32_t reg(unsigned i) const { return x_[i]; }
+  void set_reg(unsigned i, std::uint32_t v) {
+    if (i != 0) x_[i] = v;
+  }
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+
+  [[nodiscard]] bool halted() const { return halt_ != HaltReason::kRunning; }
+  [[nodiscard]] HaltReason halt_reason() const { return halt_; }
+  [[nodiscard]] std::uint64_t retired() const { return retired_; }
+
+  /// Restarts execution at `pc` with registers preserved.
+  void resume(std::uint32_t pc) {
+    pc_ = pc;
+    halt_ = HaltReason::kRunning;
+  }
+
+ private:
+  void execute(std::uint32_t inst);
+
+  Bus* bus_;
+  std::array<std::uint32_t, 32> x_{};
+  std::uint32_t pc_;
+  HaltReason halt_ = HaltReason::kRunning;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace hhpim::riscv

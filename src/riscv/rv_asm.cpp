@@ -1,0 +1,342 @@
+#include "riscv/rv_asm.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "common/strings.hpp"
+
+namespace hhpim::riscv {
+
+namespace {
+
+// --- encoders ---------------------------------------------------------------
+
+std::uint32_t enc_r(std::uint32_t f7, int rs2, int rs1, std::uint32_t f3, int rd,
+                    std::uint32_t op) {
+  return (f7 << 25) | (static_cast<std::uint32_t>(rs2) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 15) | (f3 << 12) |
+         (static_cast<std::uint32_t>(rd) << 7) | op;
+}
+
+std::uint32_t enc_i(std::int32_t imm, int rs1, std::uint32_t f3, int rd, std::uint32_t op) {
+  return (static_cast<std::uint32_t>(imm & 0xfff) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 15) | (f3 << 12) |
+         (static_cast<std::uint32_t>(rd) << 7) | op;
+}
+
+std::uint32_t enc_s(std::int32_t imm, int rs2, int rs1, std::uint32_t f3) {
+  const std::uint32_t u = static_cast<std::uint32_t>(imm);
+  return (((u >> 5) & 0x7f) << 25) | (static_cast<std::uint32_t>(rs2) << 20) |
+         (static_cast<std::uint32_t>(rs1) << 15) | (f3 << 12) | ((u & 0x1f) << 7) | 0x23;
+}
+
+std::uint32_t enc_b(std::int32_t imm, int rs2, int rs1, std::uint32_t f3) {
+  const std::uint32_t u = static_cast<std::uint32_t>(imm);
+  return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) |
+         (static_cast<std::uint32_t>(rs2) << 20) | (static_cast<std::uint32_t>(rs1) << 15) |
+         (f3 << 12) | (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | 0x63;
+}
+
+std::uint32_t enc_u(std::int32_t imm, int rd, std::uint32_t op) {
+  return (static_cast<std::uint32_t>(imm) & 0xfffff000u) |
+         (static_cast<std::uint32_t>(rd) << 7) | op;
+}
+
+std::uint32_t enc_j(std::int32_t imm, int rd) {
+  const std::uint32_t u = static_cast<std::uint32_t>(imm);
+  return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) | (((u >> 11) & 1) << 20) |
+         (((u >> 12) & 0xff) << 12) | (static_cast<std::uint32_t>(rd) << 7) | 0x6f;
+}
+
+struct Op3 {
+  std::uint32_t f7, f3;
+};
+
+const std::map<std::string, Op3, std::less<>> kRType = {
+    {"add", {0x00, 0}},  {"sub", {0x20, 0}},  {"sll", {0x00, 1}},  {"slt", {0x00, 2}},
+    {"sltu", {0x00, 3}}, {"xor", {0x00, 4}},  {"srl", {0x00, 5}},  {"sra", {0x20, 5}},
+    {"or", {0x00, 6}},   {"and", {0x00, 7}},  {"mul", {0x01, 0}},  {"mulh", {0x01, 1}},
+    {"mulhsu", {0x01, 2}}, {"mulhu", {0x01, 3}}, {"div", {0x01, 4}}, {"divu", {0x01, 5}},
+    {"rem", {0x01, 6}},  {"remu", {0x01, 7}},
+};
+
+const std::map<std::string, std::uint32_t, std::less<>> kIType = {
+    {"addi", 0}, {"slti", 2}, {"sltiu", 3}, {"xori", 4}, {"ori", 6}, {"andi", 7},
+};
+
+const std::map<std::string, std::uint32_t, std::less<>> kLoads = {
+    {"lb", 0}, {"lh", 1}, {"lw", 2}, {"lbu", 4}, {"lhu", 5},
+};
+
+const std::map<std::string, std::uint32_t, std::less<>> kStores = {
+    {"sb", 0}, {"sh", 1}, {"sw", 2},
+};
+
+const std::map<std::string, std::uint32_t, std::less<>> kBranches = {
+    {"beq", 0}, {"bne", 1}, {"blt", 4}, {"bge", 5}, {"bltu", 6}, {"bgeu", 7},
+};
+
+}  // namespace
+
+int parse_register(std::string_view name) {
+  static const std::map<std::string, int, std::less<>> kAbi = {
+      {"zero", 0}, {"ra", 1},  {"sp", 2},  {"gp", 3},  {"tp", 4},  {"t0", 5},
+      {"t1", 6},   {"t2", 7},  {"s0", 8},  {"fp", 8},  {"s1", 9},  {"a0", 10},
+      {"a1", 11},  {"a2", 12}, {"a3", 13}, {"a4", 14}, {"a5", 15}, {"a6", 16},
+      {"a7", 17},  {"s2", 18}, {"s3", 19}, {"s4", 20}, {"s5", 21}, {"s6", 22},
+      {"s7", 23},  {"s8", 24}, {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+      {"t4", 29},  {"t5", 30}, {"t6", 31},
+  };
+  const auto it = kAbi.find(name);
+  if (it != kAbi.end()) return it->second;
+  if (name.size() >= 2 && name[0] == 'x') {
+    char* end = nullptr;
+    const std::string digits{name.substr(1)};
+    const long v = std::strtol(digits.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 0 && v <= 31) return static_cast<int>(v);
+  }
+  return -1;
+}
+
+namespace {
+
+struct Line {
+  std::size_t number;
+  std::string mnemonic;
+  std::vector<std::string> ops;
+};
+
+struct Parsed {
+  std::vector<Line> lines;
+  std::map<std::string, std::uint32_t> labels;
+};
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::string str{s};
+  const long long v = std::strtoll(str.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+/// First pass: strip comments, collect labels, count instruction words.
+std::variant<Parsed, RvAsmError> first_pass(std::string_view source, std::uint32_t origin) {
+  Parsed p;
+  std::uint32_t addr = origin;
+  std::size_t line_no = 0;
+  for (const auto& raw : split(source, '\n')) {
+    ++line_no;
+    std::string text = raw;
+    const auto hash = text.find('#');
+    if (hash != std::string::npos) text = text.substr(0, hash);
+    text = trim(text);
+    // Labels (possibly several on one line).
+    for (auto colon = text.find(':'); colon != std::string::npos; colon = text.find(':')) {
+      const std::string label = trim(text.substr(0, colon));
+      if (label.empty() || label.find(' ') != std::string::npos) {
+        return RvAsmError{line_no, "bad label '" + label + "'"};
+      }
+      if (p.labels.count(label) > 0) {
+        return RvAsmError{line_no, "duplicate label '" + label + "'"};
+      }
+      p.labels[label] = addr;
+      text = trim(text.substr(colon + 1));
+    }
+    if (text.empty()) continue;
+
+    const auto space = text.find_first_of(" \t");
+    Line line;
+    line.number = line_no;
+    line.mnemonic = to_lower(text.substr(0, space));
+    if (space != std::string::npos) {
+      for (const auto& op : split(text.substr(space), ',')) {
+        const std::string t = trim(op);
+        if (!t.empty()) line.ops.push_back(t);
+      }
+    }
+    // `li` with a large immediate expands to two instructions.
+    std::uint32_t words = 1;
+    if (line.mnemonic == "li" && line.ops.size() == 2) {
+      const auto v = parse_int(line.ops[1]);
+      if (v.has_value() && (*v < -2048 || *v > 2047)) words = 2;
+    }
+    p.lines.push_back(std::move(line));
+    addr += 4 * words;
+  }
+  return p;
+}
+
+/// Splits "imm(rs1)" into offset and register.
+bool parse_mem_operand(std::string_view s, std::int32_t* off, int* reg) {
+  const auto open = s.find('(');
+  const auto close = s.find(')');
+  if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+    return false;
+  }
+  const auto imm_text = trim(s.substr(0, open));
+  const auto v = imm_text.empty() ? std::optional<std::int64_t>{0} : parse_int(imm_text);
+  if (!v.has_value()) return false;
+  *off = static_cast<std::int32_t>(*v);
+  *reg = parse_register(trim(s.substr(open + 1, close - open - 1)));
+  return *reg >= 0;
+}
+
+}  // namespace
+
+RvAsmResult assemble_rv32(std::string_view source, std::uint32_t origin) {
+  auto pass1 = first_pass(source, origin);
+  if (std::holds_alternative<RvAsmError>(pass1)) return std::get<RvAsmError>(pass1);
+  const Parsed& p = std::get<Parsed>(pass1);
+
+  std::vector<std::uint32_t> out;
+  std::uint32_t addr = origin;
+
+  auto err = [&](const Line& l, const std::string& msg) -> RvAsmError {
+    return RvAsmError{l.number, msg + " in '" + l.mnemonic + "'"};
+  };
+
+  auto resolve = [&](const Line& l, std::string_view s,
+                     std::int64_t* value) -> std::optional<RvAsmError> {
+    const auto v = parse_int(s);
+    if (v.has_value()) {
+      *value = *v;
+      return std::nullopt;
+    }
+    const auto it = p.labels.find(std::string{s});
+    if (it == p.labels.end()) return err(l, "unknown symbol '" + std::string{s} + "'");
+    *value = it->second;
+    return std::nullopt;
+  };
+
+  for (const auto& l : p.lines) {
+    const auto& m = l.mnemonic;
+    auto need = [&](std::size_t n) { return l.ops.size() == n; };
+    auto reg = [&](std::size_t i) { return parse_register(l.ops[i]); };
+
+    if (const auto r = kRType.find(m); r != kRType.end()) {
+      if (!need(3) || reg(0) < 0 || reg(1) < 0 || reg(2) < 0) return err(l, "bad operands");
+      out.push_back(enc_r(r->second.f7, reg(2), reg(1), r->second.f3, reg(0), 0x33));
+    } else if (const auto i = kIType.find(m); i != kIType.end()) {
+      std::int64_t imm = 0;
+      if (!need(3) || reg(0) < 0 || reg(1) < 0) return err(l, "bad operands");
+      if (auto e = resolve(l, l.ops[2], &imm)) return *e;
+      if (imm < -2048 || imm > 2047) return err(l, "immediate out of range");
+      out.push_back(enc_i(static_cast<std::int32_t>(imm), reg(1), i->second, reg(0), 0x13));
+    } else if (m == "slli" || m == "srli" || m == "srai") {
+      std::int64_t sh = 0;
+      if (!need(3) || reg(0) < 0 || reg(1) < 0) return err(l, "bad operands");
+      if (auto e = resolve(l, l.ops[2], &sh)) return *e;
+      if (sh < 0 || sh > 31) return err(l, "shift amount out of range");
+      const std::uint32_t f7 = m == "srai" ? 0x20 : 0x00;
+      const std::uint32_t f3 = m == "slli" ? 1 : 5;
+      out.push_back(enc_r(f7, static_cast<int>(sh), reg(1), f3, reg(0), 0x13));
+    } else if (const auto ld = kLoads.find(m); ld != kLoads.end()) {
+      std::int32_t off = 0;
+      int base = 0;
+      if (!need(2) || reg(0) < 0 || !parse_mem_operand(l.ops[1], &off, &base)) {
+        return err(l, "bad operands");
+      }
+      out.push_back(enc_i(off, base, ld->second, reg(0), 0x03));
+    } else if (const auto st = kStores.find(m); st != kStores.end()) {
+      std::int32_t off = 0;
+      int base = 0;
+      if (!need(2) || reg(0) < 0 || !parse_mem_operand(l.ops[1], &off, &base)) {
+        return err(l, "bad operands");
+      }
+      out.push_back(enc_s(off, reg(0), base, st->second));
+    } else if (const auto br = kBranches.find(m); br != kBranches.end()) {
+      std::int64_t target = 0;
+      if (!need(3) || reg(0) < 0 || reg(1) < 0) return err(l, "bad operands");
+      if (auto e = resolve(l, l.ops[2], &target)) return *e;
+      out.push_back(enc_b(static_cast<std::int32_t>(target - addr), reg(1), reg(0), br->second));
+    } else if (m == "beqz" || m == "bnez") {
+      std::int64_t target = 0;
+      if (!need(2) || reg(0) < 0) return err(l, "bad operands");
+      if (auto e = resolve(l, l.ops[1], &target)) return *e;
+      out.push_back(enc_b(static_cast<std::int32_t>(target - addr), 0, reg(0),
+                          m == "beqz" ? 0 : 1));
+    } else if (m == "lui" || m == "auipc") {
+      std::int64_t imm = 0;
+      if (!need(2) || reg(0) < 0) return err(l, "bad operands");
+      if (auto e = resolve(l, l.ops[1], &imm)) return *e;
+      out.push_back(enc_u(static_cast<std::int32_t>(imm << 12), reg(0),
+                          m == "lui" ? 0x37 : 0x17));
+    } else if (m == "jal") {
+      // jal rd, label  |  jal label (rd = ra)
+      std::int64_t target = 0;
+      int rd = 1;
+      std::size_t t = 0;
+      if (need(2)) {
+        rd = reg(0);
+        t = 1;
+        if (rd < 0) return err(l, "bad operands");
+      } else if (!need(1)) {
+        return err(l, "bad operands");
+      }
+      if (auto e = resolve(l, l.ops[t], &target)) return *e;
+      out.push_back(enc_j(static_cast<std::int32_t>(target - addr), rd));
+    } else if (m == "jalr") {
+      if (need(1)) {
+        const int rs = reg(0);
+        if (rs < 0) return err(l, "bad operands");
+        out.push_back(enc_i(0, rs, 0, 1, 0x67));
+      } else if (need(3)) {
+        std::int64_t imm = 0;
+        if (reg(0) < 0 || reg(1) < 0) return err(l, "bad operands");
+        if (auto e = resolve(l, l.ops[2], &imm)) return *e;
+        out.push_back(enc_i(static_cast<std::int32_t>(imm), reg(1), 0, reg(0), 0x67));
+      } else {
+        return err(l, "bad operands");
+      }
+    } else if (m == "li") {
+      std::int64_t v = 0;
+      if (!need(2) || reg(0) < 0) return err(l, "bad operands");
+      if (auto e = resolve(l, l.ops[1], &v)) return *e;
+      if (v >= -2048 && v <= 2047) {
+        out.push_back(enc_i(static_cast<std::int32_t>(v), 0, 0, reg(0), 0x13));
+      } else {
+        const std::uint32_t uv = static_cast<std::uint32_t>(v);
+        std::uint32_t hi = uv >> 12;
+        const std::int32_t lo = static_cast<std::int32_t>(uv << 20) >> 20;
+        if (lo < 0) hi += 1;  // ADDI sign-extends; compensate in LUI
+        out.push_back(enc_u(static_cast<std::int32_t>(hi << 12), reg(0), 0x37));
+        out.push_back(enc_i(lo, reg(0), 0, reg(0), 0x13));
+        addr += 4;
+      }
+    } else if (m == "mv") {
+      if (!need(2) || reg(0) < 0 || reg(1) < 0) return err(l, "bad operands");
+      out.push_back(enc_i(0, reg(1), 0, reg(0), 0x13));
+    } else if (m == "j") {
+      std::int64_t target = 0;
+      if (!need(1)) return err(l, "bad operands");
+      if (auto e = resolve(l, l.ops[0], &target)) return *e;
+      out.push_back(enc_j(static_cast<std::int32_t>(target - addr), 0));
+    } else if (m == "jr") {
+      if (!need(1) || reg(0) < 0) return err(l, "bad operands");
+      out.push_back(enc_i(0, reg(0), 0, 0, 0x67));
+    } else if (m == "call") {
+      std::int64_t target = 0;
+      if (!need(1)) return err(l, "bad operands");
+      if (auto e = resolve(l, l.ops[0], &target)) return *e;
+      out.push_back(enc_j(static_cast<std::int32_t>(target - addr), 1));
+    } else if (m == "ret") {
+      out.push_back(enc_i(0, 1, 0, 0, 0x67));
+    } else if (m == "nop") {
+      out.push_back(enc_i(0, 0, 0, 0, 0x13));
+    } else if (m == "ecall") {
+      out.push_back(0x00000073);
+    } else if (m == "ebreak") {
+      out.push_back(0x00100073);
+    } else if (m == "fence") {
+      out.push_back(0x0000000f);
+    } else {
+      return err(l, "unknown mnemonic");
+    }
+    addr += 4;
+  }
+  return out;
+}
+
+}  // namespace hhpim::riscv

@@ -1,0 +1,30 @@
+// Two-pass RV32IM assembler for the benchmark/driver programs.
+//
+// Supports the full RV32IM instruction set, labels ("loop:"), decimal/hex
+// immediates, ABI and numeric register names, `%lo(label)`-free absolute
+// addressing via the `li` pseudo-instruction, and the pseudo-instructions
+// li, mv, j, jr, ret, nop, beqz, bnez, call (jal ra).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hhpim::riscv {
+
+struct RvAsmError {
+  std::size_t line;
+  std::string message;
+};
+
+using RvAsmResult = std::variant<std::vector<std::uint32_t>, RvAsmError>;
+
+/// Assembles at base address `origin` (labels resolve to absolute addresses).
+[[nodiscard]] RvAsmResult assemble_rv32(std::string_view source, std::uint32_t origin = 0);
+
+/// Parses a register name ("x5", "t0", "sp", ...) to its index; -1 if invalid.
+[[nodiscard]] int parse_register(std::string_view name);
+
+}  // namespace hhpim::riscv

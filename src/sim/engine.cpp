@@ -1,0 +1,94 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+namespace hhpim::sim {
+
+EventHandle Engine::schedule_at(Time at, EventFn fn) {
+  if (at < now_) {
+    throw std::invalid_argument("Engine::schedule_at: time " +
+                                at.to_string() + " is in the past (now " +
+                                now_.to_string() + ")");
+  }
+  auto item = std::make_unique<Item>(Item{at, next_seq_++, std::move(fn)});
+  Item* raw = item.get();
+  pool_.push_back(std::move(item));
+  queue_.push(raw);
+  ++live_events_;
+  return EventHandle{raw->seq};
+}
+
+bool Engine::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // Linear scan over the (small) live pool; cancellation is rare and used
+  // only for timeout-style events.
+  for (auto& item : pool_) {
+    if (item && item->seq == h.seq_ && !item->cancelled) {
+      item->cancelled = true;
+      --live_events_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Engine::dispatch_next() {
+  while (!queue_.empty()) {
+    Item* top = queue_.top();
+    queue_.pop();
+    if (top->cancelled) {
+      top->fn = nullptr;
+      continue;
+    }
+    assert(top->at >= now_);
+    now_ = top->at;
+    EventFn fn = std::move(top->fn);
+    top->cancelled = true;  // consumed
+    --live_events_;
+    ++executed_;
+    fn();
+    // Compact the pool opportunistically once it grows past the live set.
+    if (pool_.size() > 64 && pool_.size() > live_events_ * 4 && queue_.empty()) {
+      pool_.clear();
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run() {
+  std::size_t n = 0;
+  while (dispatch_next()) ++n;
+  pool_.clear();
+  return n;
+}
+
+std::size_t Engine::run_until(Time deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    Item* top = queue_.top();
+    if (top->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top->at > deadline) break;
+    dispatch_next();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Engine::step() { return dispatch_next(); }
+
+void Engine::reset() {
+  while (!queue_.empty()) queue_.pop();
+  pool_.clear();
+  live_events_ = 0;
+  now_ = Time::zero();
+  executed_ = 0;
+}
+
+}  // namespace hhpim::sim

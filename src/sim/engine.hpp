@@ -1,0 +1,99 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop with integer-picosecond timestamps. Events
+// scheduled at the same timestamp execute in insertion order (a monotonically
+// increasing sequence number breaks ties), which makes every run
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hhpim::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle to a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// The event loop. Components hold a reference to an Engine and schedule
+/// callbacks; Engine::run() drains the queue in timestamp order.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing during run().
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
+  EventHandle schedule_at(Time at, EventFn fn);
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventHandle schedule_after(Time delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a previously scheduled event. Returns false if the event has
+  /// already run, been cancelled, or the handle is invalid.
+  bool cancel(EventHandle h);
+
+  /// Runs until the queue is empty. Returns the number of events executed.
+  std::size_t run();
+
+  /// Runs until the queue is empty or simulated time would exceed `deadline`.
+  /// Events at exactly `deadline` are executed. Advances now() to `deadline`
+  /// if the queue empties earlier.
+  std::size_t run_until(Time deadline);
+
+  /// Executes at most one event. Returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return live_events_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_events_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Resets time to zero and clears all pending events.
+  void reset();
+
+ private:
+  struct Item {
+    Time at;
+    std::uint64_t seq;
+    EventFn fn;
+    bool cancelled = false;
+  };
+  struct Cmp {
+    bool operator()(const Item* a, const Item* b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
+    }
+  };
+
+  bool dispatch_next();
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  // Owning storage: the priority queue holds raw pointers into `pool_`.
+  std::vector<std::unique_ptr<Item>> pool_;
+  std::priority_queue<Item*, std::vector<Item*>, Cmp> queue_;
+};
+
+}  // namespace hhpim::sim

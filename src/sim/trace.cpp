@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace hhpim::sim {
+
+void Tracer::record(Time at, std::string component, std::string what) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{at, std::move(component), std::move(what)});
+}
+
+std::string Tracer::dump() const {
+  std::ostringstream out;
+  for (const auto& r : records_) {
+    out << r.at.to_string() << "  " << r.component << "  " << r.what << "\n";
+  }
+  return out.str();
+}
+
+std::size_t Tracer::count_matching(const std::string& prefix) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (starts_with(r.what, prefix)) ++n;
+  }
+  return n;
+}
+
+}  // namespace hhpim::sim

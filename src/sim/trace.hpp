@@ -1,0 +1,40 @@
+// Optional event tracing: components emit (time, component, what) records
+// that tests and examples can inspect or dump. Disabled by default — a
+// disabled tracer drops records without allocating.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hhpim::sim {
+
+struct TraceRecord {
+  Time at;
+  std::string component;
+  std::string what;
+};
+
+class Tracer {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Time at, std::string component, std::string what);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Renders one line per record: "12.340 ns  pim.hp0  LOAD burst=64".
+  [[nodiscard]] std::string dump() const;
+
+  /// Number of records whose `what` starts with `prefix`.
+  [[nodiscard]] std::size_t count_matching(const std::string& prefix) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace hhpim::sim

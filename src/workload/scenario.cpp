@@ -1,0 +1,87 @@
+#include "workload/scenario.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace hhpim::workload {
+
+const char* to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kLowConstant: return "low-constant";
+    case Scenario::kHighConstant: return "high-constant";
+    case Scenario::kPeriodicSpike: return "periodic-spike";
+    case Scenario::kPeriodicSpikeFrequent: return "periodic-spike-frequent";
+    case Scenario::kPulsing: return "high-low-pulsing";
+    case Scenario::kRandom: return "random";
+  }
+  return "?";
+}
+
+const char* case_name(Scenario s) {
+  switch (s) {
+    case Scenario::kLowConstant: return "Case 1";
+    case Scenario::kHighConstant: return "Case 2";
+    case Scenario::kPeriodicSpike: return "Case 3";
+    case Scenario::kPeriodicSpikeFrequent: return "Case 4";
+    case Scenario::kPulsing: return "Case 5";
+    case Scenario::kRandom: return "Case 6";
+  }
+  return "?";
+}
+
+std::array<Scenario, 6> all_scenarios() {
+  return {Scenario::kLowConstant,       Scenario::kHighConstant,
+          Scenario::kPeriodicSpike,     Scenario::kPeriodicSpikeFrequent,
+          Scenario::kPulsing,           Scenario::kRandom};
+}
+
+std::vector<int> generate(Scenario s, const ScenarioConfig& cfg) {
+  if (cfg.slices <= 0 || cfg.low < 0 || cfg.high < cfg.low) {
+    throw std::invalid_argument("ScenarioConfig: need slices > 0 and 0 <= low <= high");
+  }
+  std::vector<int> loads(static_cast<std::size_t>(cfg.slices), cfg.low);
+  switch (s) {
+    case Scenario::kLowConstant:
+      break;  // all low
+    case Scenario::kHighConstant:
+      std::fill(loads.begin(), loads.end(), cfg.high);
+      break;
+    case Scenario::kPeriodicSpike:
+      for (int i = 0; i < cfg.slices; i += cfg.spike_period) {
+        loads[static_cast<std::size_t>(i)] = cfg.high;
+      }
+      break;
+    case Scenario::kPeriodicSpikeFrequent:
+      for (int i = 0; i < cfg.slices; i += cfg.spike_period_frequent) {
+        loads[static_cast<std::size_t>(i)] = cfg.high;
+      }
+      break;
+    case Scenario::kPulsing:
+      for (int i = 0; i < cfg.slices; ++i) {
+        const bool high_phase = (i / cfg.pulse_width) % 2 == 0;
+        loads[static_cast<std::size_t>(i)] = high_phase ? cfg.high : cfg.low;
+      }
+      break;
+    case Scenario::kRandom: {
+      Rng rng{cfg.seed};
+      for (auto& l : loads) {
+        l = static_cast<int>(rng.next_in(cfg.low, cfg.high));
+      }
+      break;
+    }
+  }
+  return loads;
+}
+
+std::string sparkline(const std::vector<int>& loads, int high) {
+  static const char* kLevels[] = {"_", ".", ":", "-", "=", "+", "*", "#"};
+  std::string out;
+  for (const int l : loads) {
+    const int idx = high == 0 ? 0 : (l * 7) / high;
+    out += kLevels[idx < 0 ? 0 : (idx > 7 ? 7 : idx)];
+  }
+  return out;
+}
+
+}  // namespace hhpim::workload

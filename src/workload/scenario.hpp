@@ -1,0 +1,41 @@
+// The six workload scenarios of Fig. 4: per-time-slice inference counts that
+// drive the dynamic data-placement experiments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hhpim::workload {
+
+enum class Scenario : std::uint8_t {
+  kLowConstant = 0,           ///< Case 1
+  kHighConstant,              ///< Case 2
+  kPeriodicSpike,             ///< Case 3
+  kPeriodicSpikeFrequent,     ///< Case 4
+  kPulsing,                   ///< Case 5
+  kRandom,                    ///< Case 6
+};
+
+[[nodiscard]] const char* to_string(Scenario s);
+[[nodiscard]] const char* case_name(Scenario s);  ///< "Case 1" .. "Case 6"
+[[nodiscard]] std::array<Scenario, 6> all_scenarios();
+
+struct ScenarioConfig {
+  int slices = 50;        ///< paper: 50 time slices per run
+  int low = 2;            ///< inferences/slice at low load
+  int high = 10;          ///< paper: up to 10 inferences per slice at peak
+  int spike_period = 10;  ///< Case 3: one spike slice every `spike_period`
+  int spike_period_frequent = 4;  ///< Case 4
+  int pulse_width = 5;    ///< Case 5: alternate `pulse_width` high / low slices
+  std::uint64_t seed = 0x5eed2025;  ///< Case 6 randomness
+};
+
+/// Per-slice inference counts for a scenario.
+[[nodiscard]] std::vector<int> generate(Scenario s, const ScenarioConfig& cfg = {});
+
+/// Renders a small ASCII sparkline of the load curve (for bench output).
+[[nodiscard]] std::string sparkline(const std::vector<int>& loads, int high);
+
+}  // namespace hhpim::workload

@@ -1,0 +1,29 @@
+#include "workload/task.hpp"
+
+namespace hhpim::workload {
+
+std::optional<Task> TaskBuffer::pop() {
+  if (fifo_.empty()) return std::nullopt;
+  Task t = fifo_.front();
+  fifo_.pop_front();
+  return t;
+}
+
+std::deque<Task> TaskBuffer::drain() {
+  std::deque<Task> out;
+  out.swap(fifo_);
+  return out;
+}
+
+void TaskFactory::emit(TaskBuffer& buffer, int slice, int count) {
+  for (int i = 0; i < count; ++i) {
+    Task t;
+    t.id = next_id_++;
+    t.pim_macs = pim_macs_;
+    t.core_ops = core_ops_;
+    t.arrival_slice = slice;
+    buffer.push(t);
+  }
+}
+
+}  // namespace hhpim::workload

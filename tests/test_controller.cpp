@@ -1,0 +1,132 @@
+#include "pim/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "pim/cluster.hpp"
+
+namespace hhpim::pim {
+namespace {
+
+using energy::ClusterKind;
+using energy::EnergyLedger;
+using energy::MemoryKind;
+using energy::PowerSpec;
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : cluster(ClusterConfig{"hp", ClusterKind::kHighPerformance, 4, 64 * 1024, 64 * 1024},
+                spec, &ledger) {}
+
+  std::vector<isa::Instruction> program(const std::string& src) {
+    const auto r = isa::assemble(src);
+    return std::get<std::vector<isa::Instruction>>(r);
+  }
+
+  PowerSpec spec = PowerSpec::paper_45nm();
+  EnergyLedger ledger;
+  Cluster cluster;
+};
+
+TEST_F(ControllerTest, MacInstructionDrivesSelectedModules) {
+  const auto summary = cluster.controller().run_program(
+      Time::zero(), program("mac.sram m0-1, 100\nhalt"));
+  EXPECT_EQ(summary.instructions, 2u);
+  EXPECT_EQ(cluster.module(0).total_macs(), 100u);
+  EXPECT_EQ(cluster.module(1).total_macs(), 100u);
+  EXPECT_EQ(cluster.module(2).total_macs(), 0u);
+}
+
+TEST_F(ControllerTest, FetchDecodeOverheadAppliesPerInstruction) {
+  const auto summary = cluster.controller().run_program(
+      Time::zero(), program("nop\nnop\nnop\nhalt"));
+  // 4 instructions * (1 fetch + 1 decode) cycles of 1 ns.
+  EXPECT_EQ(summary.complete, Time::ns(8.0));
+  EXPECT_EQ(cluster.controller().instructions_retired(), 4u);
+}
+
+TEST_F(ControllerTest, BarrierWaitsForModules) {
+  const auto summary = cluster.controller().run_program(
+      Time::zero(), program("mac.sram m0, 1000\nbarrier m0\nhalt"));
+  // Burst: issued at 2 ns (fetch+decode), runs 1000 * 6.64 ns.
+  const Time burst_end = Time::ns(2.0) + Time::ns(6640.0);
+  EXPECT_GE(summary.complete, burst_end);
+}
+
+TEST_F(ControllerTest, HaltStopsExecution) {
+  const auto summary = cluster.controller().run_program(
+      Time::zero(), program("halt\nmac.sram m0, 50"));
+  EXPECT_EQ(summary.instructions, 1u);
+  EXPECT_EQ(cluster.module(0).total_macs(), 0u);
+  EXPECT_EQ(cluster.controller().state(), ControllerState::kHalted);
+}
+
+TEST_F(ControllerTest, PowerInstructionsGateBanks) {
+  cluster.controller().run_program(Time::zero(),
+                                   program("pwron.mram m0\nhalt"));
+  EXPECT_TRUE(cluster.module(0).bank(MemoryKind::kMram).is_on());
+  cluster.controller().run_program(cluster.busy_until(),
+                                   program("pwroff.mram m0\nhalt"));
+  EXPECT_FALSE(cluster.module(0).bank(MemoryKind::kMram).is_on());
+}
+
+TEST_F(ControllerTest, ControlEnergyCharged) {
+  const Energy before = ledger.total(energy::Activity::kControl);
+  cluster.controller().run_program(Time::zero(), program("nop\nnop\nhalt"));
+  const Energy after = ledger.total(energy::Activity::kControl);
+  // 3 instructions * 0.8 pJ default.
+  EXPECT_NEAR((after - before).as_pj(), 2.4, 0.01);
+}
+
+TEST_F(ControllerTest, ClusterComputeSplitsAcrossModules) {
+  const Time done = cluster.compute(Time::zero(), MemoryKind::kSram, 1003);
+  // 1003 over 4 modules: three get 251, one gets 250.
+  EXPECT_EQ(cluster.module(0).total_macs(), 251u);
+  EXPECT_EQ(cluster.module(3).total_macs(), 250u);
+  EXPECT_EQ(done, Time::ns(251 * 6.64));
+  EXPECT_EQ(cluster.busy_until(), done);
+}
+
+TEST_F(ControllerTest, ClusterResidencyDistribution) {
+  cluster.distribute_resident(MemoryKind::kSram, 10, Time::zero());
+  EXPECT_EQ(cluster.resident(MemoryKind::kSram), 10u);
+  EXPECT_EQ(cluster.module(0).resident(MemoryKind::kSram), 3u);
+  EXPECT_EQ(cluster.module(2).resident(MemoryKind::kSram), 2u);
+  EXPECT_EQ(cluster.weight_capacity(MemoryKind::kSram), 4u * 64 * 1024);
+}
+
+TEST_F(ControllerTest, ReluIsPeOnly) {
+  cluster.controller().run_program(Time::zero(), program("relu m0, 500\nhalt"));
+  // 500 PE ops at 5.52 ns, no memory reads.
+  EXPECT_EQ(cluster.module(0).busy_until(), Time::ns(2.0) + Time::ns(500 * 5.52));
+  EXPECT_EQ(cluster.module(0).bank(MemoryKind::kSram).read_count(), 0u);
+  EXPECT_EQ(cluster.module(0).total_macs(), 500u);
+}
+
+TEST_F(ControllerTest, GemvStreamsWeightsLikeMac) {
+  cluster.controller().run_program(Time::zero(), program("gemv.mram m1, 64\nhalt"));
+  EXPECT_EQ(cluster.module(1).bank(MemoryKind::kMram).read_count(), 64u);
+  EXPECT_EQ(cluster.module(1).total_macs(), 64u);
+}
+
+TEST(InstructionQueue, FifoAndCapacity) {
+  InstructionQueue q{2};
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.push(isa::make_halt()));
+  EXPECT_TRUE(q.push(isa::make_barrier()));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(isa::make_halt()));
+  EXPECT_EQ(q.rejected(), 1u);
+  EXPECT_EQ(q.peak_occupancy(), 2u);
+  const auto first = q.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->category, isa::Category::kSync);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.total_pushed(), 2u);
+}
+
+}  // namespace
+}  // namespace hhpim::pim

@@ -1,0 +1,127 @@
+#include "placement/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhpim::placement {
+namespace {
+
+using energy::ClusterKind;
+using energy::MemoryKind;
+using energy::PowerSpec;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  // Paper configuration: 4 modules per cluster, 64 kB each memory, and a
+  // round uses-per-weight of 10 for hand computation.
+  CostModel model = CostModel::build(PowerSpec::paper_45nm(),
+                                     ClusterShape{4, 64 * 1024, 64 * 1024},
+                                     ClusterShape{4, 64 * 1024, 64 * 1024}, 10.0);
+};
+
+TEST_F(CostModelTest, SpaceMetadata) {
+  EXPECT_EQ(cluster_of(Space::kHpMram), ClusterKind::kHighPerformance);
+  EXPECT_EQ(cluster_of(Space::kLpSram), ClusterKind::kLowPower);
+  EXPECT_EQ(memory_of(Space::kHpSram), MemoryKind::kSram);
+  EXPECT_EQ(memory_of(Space::kLpMram), MemoryKind::kMram);
+  EXPECT_STREQ(to_string(Space::kHpMram), "HP-MRAM");
+  EXPECT_EQ(all_spaces().size(), kSpaceCount);
+}
+
+TEST_F(CostModelTest, TimePerWeightHandComputed) {
+  // HP-SRAM: 10 uses * (1.12 + 5.52) ns / 4 modules = 16.6 ns.
+  EXPECT_EQ(model.at(Space::kHpSram).time_per_weight, Time::ns(16.6));
+  // LP-MRAM: 10 * (2.96 + 10.68) / 4 = 34.1 ns.
+  EXPECT_EQ(model.at(Space::kLpMram).time_per_weight, Time::ns(34.1));
+}
+
+TEST_F(CostModelTest, DynEnergyPerWeightHandComputed) {
+  // HP-MRAM: 10 * (428.48 mW * 2.62 ns + 0.9 mW * 5.52 ns).
+  EXPECT_NEAR(model.at(Space::kHpMram).dyn_per_weight.as_pj(),
+              10 * (1122.62 + 4.968), 0.5);
+  // LP-SRAM: 10 * (177.3 * 1.41 + 0.51 * 10.68).
+  EXPECT_NEAR(model.at(Space::kLpSram).dyn_per_weight.as_pj(),
+              10 * (249.99 + 5.447), 0.5);
+}
+
+TEST_F(CostModelTest, RetentionOnlyOnSram) {
+  EXPECT_DOUBLE_EQ(model.at(Space::kHpMram).leak_per_weight.as_mw(), 0.0);
+  EXPECT_DOUBLE_EQ(model.at(Space::kLpMram).leak_per_weight.as_mw(), 0.0);
+  // HP-SRAM: 23.29 mW / 65536 weights per module.
+  EXPECT_NEAR(model.at(Space::kHpSram).leak_per_weight.as_uw(), 23290.0 / 65536, 0.01);
+  EXPECT_NEAR(model.at(Space::kLpSram).leak_per_weight.as_uw(), 5450.0 / 65536, 0.01);
+}
+
+TEST_F(CostModelTest, Capacities) {
+  for (const Space s : all_spaces()) {
+    EXPECT_EQ(model.at(s).capacity_weights, 4u * 64 * 1024) << to_string(s);
+  }
+}
+
+TEST_F(CostModelTest, MissingMramGetsZeroCapacity) {
+  const CostModel m = CostModel::build(PowerSpec::paper_45nm(),
+                                       ClusterShape{8, 0, 128 * 1024},
+                                       ClusterShape{0, 0, 0}, 10.0);
+  EXPECT_EQ(m.at(Space::kHpMram).capacity_weights, 0u);
+  EXPECT_EQ(m.at(Space::kHpSram).capacity_weights, 8u * 128 * 1024);
+  EXPECT_EQ(m.at(Space::kLpSram).capacity_weights, 0u);
+}
+
+TEST_F(CostModelTest, TaskTimeIsMaxOfClusterSums) {
+  Allocation a;
+  a[Space::kHpMram] = 100;
+  a[Space::kHpSram] = 100;
+  a[Space::kLpSram] = 50;
+  // HP: 100 * 20.35 + 100 * 16.6 = 3695 ns; LP: 50 * 30.225 = 1511.25 ns.
+  const Time hp = cluster_time(model, a, ClusterKind::kHighPerformance);
+  const Time lp = cluster_time(model, a, ClusterKind::kLowPower);
+  EXPECT_EQ(hp, Time::ns(3695.0));
+  EXPECT_EQ(lp, Time::ps(1511250));
+  EXPECT_EQ(task_time(model, a), hp);
+}
+
+TEST_F(CostModelTest, EnergiesAddUp) {
+  Allocation a;
+  a[Space::kHpSram] = 10;
+  a[Space::kLpMram] = 20;
+  const Energy dyn = task_dynamic_energy(model, a);
+  const double expect_dyn = 10 * model.at(Space::kHpSram).dyn_per_weight.as_pj() +
+                            20 * model.at(Space::kLpMram).dyn_per_weight.as_pj();
+  EXPECT_NEAR(dyn.as_pj(), expect_dyn, 0.01);
+
+  const Energy ret = retention_energy(model, a, Time::us(1.0));
+  const double expect_ret =
+      10 * model.at(Space::kHpSram).leak_per_weight.as_mw() * 1000.0;  // mW * ns
+  EXPECT_NEAR(ret.as_pj(), expect_ret, 0.01);
+  EXPECT_NEAR(task_energy(model, a, Time::us(1.0)).as_pj(), expect_dyn + expect_ret, 0.01);
+}
+
+TEST_F(CostModelTest, FitsChecksCapacities) {
+  Allocation a;
+  a[Space::kHpSram] = 4 * 64 * 1024;
+  EXPECT_TRUE(fits(model, a));
+  a[Space::kHpSram] += 1;
+  EXPECT_FALSE(fits(model, a));
+}
+
+TEST_F(CostModelTest, AllocationHelpers) {
+  Allocation a;
+  a[Space::kHpMram] = 5;
+  a[Space::kLpSram] = 7;
+  EXPECT_EQ(a.total(), 12u);
+  EXPECT_NE(a.to_string().find("HP-MRAM: 5"), std::string::npos);
+  Allocation b = a;
+  EXPECT_EQ(a, b);
+  b[Space::kLpSram] = 8;
+  EXPECT_FALSE(a == b);
+}
+
+TEST_F(CostModelTest, MovementFieldsPopulated) {
+  const auto& hp_mram = model.at(Space::kHpMram);
+  EXPECT_EQ(hp_mram.read_latency, Time::ns(2.62));
+  EXPECT_EQ(hp_mram.write_latency, Time::ns(11.81));
+  EXPECT_NEAR(hp_mram.write_energy.as_pj(), 133.78 * 11.81, 0.5);
+  EXPECT_EQ(hp_mram.modules, 4u);
+}
+
+}  // namespace
+}  // namespace hhpim::placement

@@ -1,0 +1,133 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hhpim::sim {
+namespace {
+
+using namespace hhpim::literals;
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30_ns, [&] { order.push_back(3); });
+  e.schedule_at(10_ns, [&] { order.push_back(1); });
+  e.schedule_at(20_ns, [&] { order.push_back(2); });
+  EXPECT_EQ(e.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30_ns);
+}
+
+TEST(Engine, SameTimestampIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5_ns, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) e.schedule_after(1_ns, recurse);
+  };
+  e.schedule_at(0_ps, recurse);
+  e.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now(), 4_ns);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(10_ns, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5_ns, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  const EventHandle h = e.schedule_at(1_ns, [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_FALSE(e.cancel(h));  // double-cancel fails
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelAfterExecutionFails) {
+  Engine e;
+  const EventHandle h = e.schedule_at(1_ns, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(h));
+  EXPECT_FALSE(e.cancel(EventHandle{}));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(10_ns, [&] { order.push_back(1); });
+  e.schedule_at(20_ns, [&] { order.push_back(2); });
+  e.schedule_at(30_ns, [&] { order.push_back(3); });
+  e.run_until(20_ns);  // inclusive
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.now(), 20_ns);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Engine, RunUntilAdvancesTimeWhenIdle) {
+  Engine e;
+  e.run_until(100_ns);
+  EXPECT_EQ(e.now(), 100_ns);
+}
+
+TEST(Engine, StepExecutesOne) {
+  Engine e;
+  int n = 0;
+  e.schedule_at(1_ns, [&] { ++n; });
+  e.schedule_at(2_ns, [&] { ++n; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(n, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, ResetClearsState) {
+  Engine e;
+  e.schedule_at(1_ns, [] {});
+  e.schedule_at(2_ns, [] {});
+  e.step();
+  e.reset();
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.now(), Time::zero());
+  // Can schedule at time zero again.
+  bool ran = false;
+  e.schedule_at(0_ps, [&] { ran = true; });
+  e.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine e;
+  Time last = Time::zero();
+  bool monotone = true;
+  for (int i = 0; i < 5000; ++i) {
+    const Time at = Time::ps((i * 7919) % 100000);
+    e.schedule_at(at, [&, at] {
+      if (at < last) monotone = false;
+      last = at;
+    });
+  }
+  e.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(e.executed(), 5000u);
+}
+
+}  // namespace
+}  // namespace hhpim::sim

@@ -1,0 +1,125 @@
+#include "isa/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+
+namespace hhpim::isa {
+namespace {
+
+TEST(Instruction, EncodeDecodeRoundtrip) {
+  Instruction inst;
+  inst.category = Category::kCompute;
+  inst.opcode = static_cast<std::uint8_t>(ComputeOp::kMac);
+  inst.mem = MemSel::kSram;
+  inst.module_mask = 0x0f;
+  inst.imm = 1234;
+  const auto decoded = decode(encode(inst));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, inst);
+}
+
+TEST(Instruction, ReservedOpcodeRejected) {
+  // Compute category has opcodes 0..3; craft a word with opcode 9.
+  const std::uint32_t word = (0u << 30) | (9u << 26);
+  EXPECT_FALSE(decode(word).has_value());
+}
+
+class RoundtripAll : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RoundtripAll, EveryValidOpcodeSurvives) {
+  const auto [cat, op] = GetParam();
+  Instruction inst;
+  inst.category = static_cast<Category>(cat);
+  inst.opcode = static_cast<std::uint8_t>(op);
+  inst.mem = MemSel::kMram;
+  inst.module_mask = 0xa5;
+  inst.imm = 0xffff;
+  if (opcode_name(inst.category, inst.opcode) == nullptr) {
+    EXPECT_FALSE(decode(encode(inst)).has_value());
+  } else {
+    const auto d = decode(encode(inst));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, inst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, RoundtripAll,
+                         ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 6)));
+
+TEST(Assembler, BasicProgram) {
+  const auto result = assemble(R"(
+      ; load weights, run MACs, finish
+      pwron.mram m0-3
+      mac.sram m0-3, 64
+      mac.mram m0, 128
+      barrier m0-3
+      halt
+  )");
+  ASSERT_TRUE(std::holds_alternative<std::vector<Instruction>>(result));
+  const auto& prog = std::get<std::vector<Instruction>>(result);
+  ASSERT_EQ(prog.size(), 5u);
+  EXPECT_EQ(prog[0].category, Category::kConfig);
+  EXPECT_EQ(prog[0].module_mask, 0x0f);
+  EXPECT_EQ(prog[1].imm, 64);
+  EXPECT_EQ(prog[1].mem, MemSel::kSram);
+  EXPECT_EQ(prog[2].module_mask, 0x01);
+  EXPECT_EQ(prog[4].category, Category::kSync);
+}
+
+TEST(Assembler, ModuleListVariants) {
+  const auto check = [](const std::string& src, std::uint8_t mask) {
+    const auto r = assemble(src);
+    ASSERT_TRUE(std::holds_alternative<std::vector<Instruction>>(r)) << src;
+    EXPECT_EQ(std::get<std::vector<Instruction>>(r)[0].module_mask, mask) << src;
+  };
+  check("mac.sram m5, 1", 0x20);
+  check("mac.sram m0,m2,m4, 1", 0x15);
+  check("mac.sram m2-5, 1", 0x3c);
+  check("mac.sram mall, 1", 0xff);
+}
+
+TEST(Assembler, Errors) {
+  auto expect_error = [](const std::string& src, std::size_t line) {
+    const auto r = assemble(src);
+    ASSERT_TRUE(std::holds_alternative<AsmError>(r)) << src;
+    EXPECT_EQ(std::get<AsmError>(r).line, line) << src;
+  };
+  expect_error("bogus m0, 1", 1);
+  expect_error("mac.dram m0, 1", 1);
+  expect_error("mac.sram m0", 1);      // missing immediate
+  expect_error("mac.sram m9, 1", 1);   // module out of range
+  expect_error("\nmac.sram m0, 99999", 2);  // imm > 16 bit
+}
+
+TEST(Assembler, DisassembleRoundtrip) {
+  const std::vector<Instruction> prog = {
+      make_power(0x0f, MemSel::kMram, true),
+      make_mac(0x0f, MemSel::kSram, 256),
+      make_xfer_out(0x03, MemSel::kSram, 32),
+      make_xfer_in(0x0c, MemSel::kMram, 32),
+      make_barrier(0xff),
+      make_halt(),
+  };
+  const std::string text = disassemble(prog);
+  const auto r = assemble(text);
+  ASSERT_TRUE(std::holds_alternative<std::vector<Instruction>>(r)) << text;
+  EXPECT_EQ(std::get<std::vector<Instruction>>(r), prog);
+}
+
+TEST(Instruction, ToStringIsInformative) {
+  const std::string s = to_string(make_mac(0x0f, MemSel::kSram, 64));
+  EXPECT_NE(s.find("mac"), std::string::npos);
+  EXPECT_NE(s.find("sram"), std::string::npos);
+  EXPECT_NE(s.find("64"), std::string::npos);
+}
+
+TEST(Instruction, Helpers) {
+  EXPECT_EQ(make_halt().category, Category::kSync);
+  EXPECT_EQ(make_barrier().module_mask, 0xff);
+  EXPECT_EQ(make_power(0x01, MemSel::kSram, false).opcode,
+            static_cast<std::uint8_t>(ConfigOp::kPowerOff));
+}
+
+}  // namespace
+}  // namespace hhpim::isa

@@ -1,0 +1,193 @@
+#include "placement/knapsack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hhpim::placement {
+namespace {
+
+// A tiny reference solver for one cluster: enumerate x blocks in SRAM
+// (space 1), k - x in MRAM (space 0).
+double cluster_reference(const ClusterItems& items, int t, int k) {
+  double best = kInfEnergy;
+  for (int x = 0; x <= k; ++x) {
+    const int mram = k - x;
+    if (x > items[1].cap_blocks || mram > items[0].cap_blocks) continue;
+    const int time = mram * items[0].time_steps + x * items[1].time_steps;
+    if (time > t) continue;
+    best = std::min(best, mram * items[0].energy_pj + x * items[1].energy_pj);
+  }
+  return best;
+}
+
+TEST(ClusterDp, MatchesReferenceOnSmallInstance) {
+  // MRAM: slow (3 steps) cheap (1 pJ); SRAM: fast (1 step) pricey (5 pJ).
+  const ClusterItems items = {DpItem{3, 1.0, 100}, DpItem{1, 5.0, 100}};
+  const auto table = ClusterDpTable::build(items, 30, 10);
+  for (int t = 0; t <= 30; ++t) {
+    for (int k = 0; k <= 10; ++k) {
+      EXPECT_DOUBLE_EQ(table.energy(t, k), cluster_reference(items, t, k))
+          << "t=" << t << " k=" << k;
+    }
+  }
+}
+
+TEST(ClusterDp, SplitTracesTheOptimalPath) {
+  const ClusterItems items = {DpItem{3, 1.0, 100}, DpItem{1, 5.0, 100}};
+  const auto table = ClusterDpTable::build(items, 30, 10);
+  // Plenty of time: everything goes to cheap MRAM.
+  auto [mram, sram] = table.split(30, 10);
+  EXPECT_EQ(mram, 10);
+  EXPECT_EQ(sram, 0);
+  // Tight time (10 steps for 10 blocks): everything must use 1-step SRAM.
+  std::tie(mram, sram) = table.split(10, 10);
+  EXPECT_EQ(mram, 0);
+  EXPECT_EQ(sram, 10);
+  // In between (t = 20): x SRAM + (10-x) MRAM with 3(10-x)+x <= 20 -> x >= 5.
+  std::tie(mram, sram) = table.split(20, 10);
+  EXPECT_EQ(sram, 5);
+  EXPECT_EQ(mram, 5);
+  EXPECT_DOUBLE_EQ(table.energy(20, 10), 5 * 1.0 + 5 * 5.0);
+}
+
+TEST(ClusterDp, InfeasibleIsInfinity) {
+  const ClusterItems items = {DpItem{3, 1.0, 100}, DpItem{2, 5.0, 100}};
+  const auto table = ClusterDpTable::build(items, 5, 10);  // 10 blocks, 5 steps
+  EXPECT_FALSE(table.feasible(5, 10));
+  EXPECT_TRUE(table.feasible(5, 2));
+  EXPECT_TRUE(table.feasible(0, 0));  // zero blocks always feasible
+}
+
+TEST(ClusterDp, CapacityConstraintsBind) {
+  // SRAM capacity 3 blocks only.
+  const ClusterItems items = {DpItem{3, 1.0, 100}, DpItem{1, 5.0, 3}};
+  const auto table = ClusterDpTable::build(items, 12, 6);
+  // 6 blocks, 12 steps: unconstrained best would be 3 MRAM + 3 SRAM
+  // (9 + 3 = 12 steps).
+  const auto [mram, sram] = table.split(12, 6);
+  EXPECT_LE(sram, 3);
+  EXPECT_EQ(mram + sram, 6);
+  EXPECT_TRUE(table.feasible(12, 6));
+  // With 6 steps only: would need >= 4.5 SRAM blocks -> capacity blocks it.
+  EXPECT_FALSE(table.feasible(6, 6));
+}
+
+TEST(ClusterDp, ZeroCapacitySpaceNeverUsed) {
+  const ClusterItems items = {DpItem{1, 1.0, 0}, DpItem{1, 5.0, 100}};
+  const auto table = ClusterDpTable::build(items, 10, 5);
+  const auto [mram, sram] = table.split(10, 5);
+  EXPECT_EQ(mram, 0);
+  EXPECT_EQ(sram, 5);
+}
+
+TEST(ClusterDp, InvalidArgumentsThrow) {
+  const ClusterItems items = {DpItem{0, 1.0, 1}, DpItem{1, 1.0, 1}};
+  EXPECT_THROW(ClusterDpTable::build(items, 10, 5), std::invalid_argument);
+  const ClusterItems ok = {DpItem{1, 1.0, 1}, DpItem{1, 1.0, 1}};
+  EXPECT_THROW(ClusterDpTable::build(ok, -1, 5), std::invalid_argument);
+}
+
+TEST(Combine, PicksBestSplitAcrossClusters) {
+  // HP: fast & expensive; LP: slow & cheap.
+  const ClusterItems hp_items = {DpItem{2, 10.0, 100}, DpItem{1, 20.0, 100}};
+  const ClusterItems lp_items = {DpItem{4, 1.0, 100}, DpItem{2, 2.0, 100}};
+  const auto hp = ClusterDpTable::build(hp_items, 40, 10);
+  const auto lp = ClusterDpTable::build(lp_items, 40, 10);
+
+  // Very relaxed: everything fits in the cheap LP-MRAM (10 * 4 = 40 steps).
+  const auto relaxed = combine_clusters(hp, lp, 10, 40);
+  EXPECT_TRUE(relaxed.feasible);
+  EXPECT_EQ(relaxed.k_lp, 10);
+  EXPECT_DOUBLE_EQ(relaxed.energy_pj, 10.0);
+
+  // Tight (8 steps): LP alone holds at most 4 blocks (2 steps each); HP must
+  // take the rest.
+  const auto tight = combine_clusters(hp, lp, 10, 8);
+  EXPECT_TRUE(tight.feasible);
+  EXPECT_GE(tight.k_hp, 6);
+  EXPECT_EQ(tight.k_hp + tight.k_lp, 10);
+
+  // Impossible: more blocks than both clusters can chew in 3 steps.
+  const auto impossible = combine_clusters(hp, lp, 10, 3);
+  EXPECT_FALSE(impossible.feasible);
+}
+
+TEST(Combine, ExhaustiveCrossCheck) {
+  const ClusterItems hp_items = {DpItem{2, 7.0, 100}, DpItem{1, 9.0, 100}};
+  const ClusterItems lp_items = {DpItem{5, 1.0, 100}, DpItem{3, 2.0, 100}};
+  const int K = 8;
+  const int T = 25;
+  const auto hp = ClusterDpTable::build(hp_items, T, K);
+  const auto lp = ClusterDpTable::build(lp_items, T, K);
+  for (int t = 0; t <= T; ++t) {
+    const auto got = combine_clusters(hp, lp, K, t);
+    // Reference: brute force over all (k_hp, intra-cluster splits).
+    double best = kInfEnergy;
+    for (int k_hp = 0; k_hp <= K; ++k_hp) {
+      const double hp_e = cluster_reference(hp_items, t, k_hp);
+      const double lp_e = cluster_reference(lp_items, t, K - k_hp);
+      if (hp_e < kInfEnergy && lp_e < kInfEnergy) best = std::min(best, hp_e + lp_e);
+    }
+    if (best == kInfEnergy) {
+      EXPECT_FALSE(got.feasible) << t;
+    } else {
+      ASSERT_TRUE(got.feasible) << t;
+      EXPECT_DOUBLE_EQ(got.energy_pj, best) << t;
+    }
+  }
+}
+
+/// Property sweep: the DP result is optimal and feasible for randomized item
+/// parameters.
+class KnapsackProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackProperty, DpIsOptimalAndFeasible) {
+  const int seed = GetParam();
+  // Simple deterministic pseudo-random parameters from the seed.
+  auto lcg = [state = static_cast<std::uint32_t>(seed * 2654435761u)]() mutable {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  const ClusterItems items = {
+      DpItem{1 + static_cast<int>(lcg() % 5), 1.0 + lcg() % 20,
+             static_cast<int>(lcg() % 12)},
+      DpItem{1 + static_cast<int>(lcg() % 5), 1.0 + lcg() % 20,
+             static_cast<int>(lcg() % 12)},
+  };
+  const int K = 8;
+  const int T = 30;
+  const auto table = ClusterDpTable::build(items, T, K);
+  // The DP enforces capacity along the traced optimal path (a conservative
+  // extension of the paper's Algorithm 1, which assumes capacities suffice).
+  // When capacities do not bind (cap >= K for both spaces) it is exactly
+  // optimal; when they bind it never under-reports energy and its trace is
+  // always a valid placement.
+  const bool caps_slack = items[0].cap_blocks >= K && items[1].cap_blocks >= K;
+  for (int t = 0; t <= T; t += 3) {
+    for (int k = 0; k <= K; ++k) {
+      const double expect = cluster_reference(items, t, k);
+      if (caps_slack) {
+        EXPECT_DOUBLE_EQ(table.energy(t, k), expect)
+            << "seed=" << seed << " t=" << t << " k=" << k;
+      } else if (table.energy(t, k) < kInfEnergy) {
+        EXPECT_GE(table.energy(t, k), expect - 1e-9)
+            << "seed=" << seed << " t=" << t << " k=" << k;
+      }
+      if (table.energy(t, k) < kInfEnergy) {
+        const auto [m, s] = table.split(t, k);
+        EXPECT_EQ(m + s, k);
+        EXPECT_LE(m, items[0].cap_blocks);
+        EXPECT_LE(s, items[1].cap_blocks);
+        EXPECT_LE(m * items[0].time_steps + s * items[1].time_steps, t);
+        EXPECT_DOUBLE_EQ(m * items[0].energy_pj + s * items[1].energy_pj,
+                         table.energy(t, k));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackProperty, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace hhpim::placement

@@ -1,0 +1,55 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hhpim {
+namespace {
+
+struct LogCapture {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+
+  LogCapture() {
+    Log::set_sink([this](LogLevel l, const std::string& m) { lines.emplace_back(l, m); });
+  }
+  ~LogCapture() {
+    Log::set_sink(nullptr);
+    Log::set_level(LogLevel::kWarn);
+  }
+};
+
+TEST(Log, RespectsLevel) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kWarn);
+  HHPIM_DEBUG() << "hidden";
+  HHPIM_INFO() << "hidden too";
+  HHPIM_WARN() << "visible";
+  HHPIM_ERROR() << "also visible";
+  ASSERT_EQ(cap.lines.size(), 2u);
+  EXPECT_EQ(cap.lines[0].second, "visible");
+  EXPECT_EQ(cap.lines[1].first, LogLevel::kError);
+}
+
+TEST(Log, StreamsCompose) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kDebug);
+  HHPIM_DEBUG() << "x=" << 42 << " y=" << 1.5;
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_EQ(cap.lines[0].second, "x=42 y=1.5");
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kOff);
+  HHPIM_ERROR() << "nope";
+  EXPECT_TRUE(cap.lines.empty());
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(Log::level_name(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(Log::level_name(LogLevel::kError), "error");
+}
+
+}  // namespace
+}  // namespace hhpim

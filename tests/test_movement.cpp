@@ -1,0 +1,139 @@
+#include "placement/movement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "placement/brute_force.hpp"
+
+namespace hhpim::placement {
+namespace {
+
+using energy::PowerSpec;
+
+CostModel paper_model() {
+  return CostModel::build(PowerSpec::paper_45nm(), ClusterShape{4, 64 * 1024, 64 * 1024},
+                          ClusterShape{4, 64 * 1024, 64 * 1024}, 10.0);
+}
+
+TEST(MovementPlan, ConservesWeights) {
+  Allocation from;
+  from[Space::kHpSram] = 1000;
+  from[Space::kLpMram] = 500;
+  Allocation to;
+  to[Space::kLpMram] = 1200;
+  to[Space::kLpSram] = 300;
+  const MovementPlan plan = plan_movement(from, to);
+  // Everything leaving HP-SRAM lands somewhere; total moved = total surplus.
+  EXPECT_EQ(plan.total(), 1000u);
+  // Apply the plan and check we arrive at `to`.
+  std::array<std::int64_t, kSpaceCount> sim{};
+  for (std::size_t i = 0; i < kSpaceCount; ++i) {
+    sim[i] = static_cast<std::int64_t>(from.weights[i]);
+  }
+  for (std::size_t s = 0; s < kSpaceCount; ++s) {
+    for (std::size_t d = 0; d < kSpaceCount; ++d) {
+      sim[s] -= static_cast<std::int64_t>(plan.moved[s][d]);
+      sim[d] += static_cast<std::int64_t>(plan.moved[s][d]);
+    }
+  }
+  for (std::size_t i = 0; i < kSpaceCount; ++i) {
+    EXPECT_EQ(sim[i], static_cast<std::int64_t>(to.weights[i])) << i;
+  }
+}
+
+TEST(MovementPlan, NoMovementForIdenticalAllocations) {
+  Allocation a;
+  a[Space::kHpMram] = 42;
+  EXPECT_EQ(plan_movement(a, a).total(), 0u);
+}
+
+TEST(MovementPlan, PrefersIntraClusterMoves) {
+  Allocation from;
+  from[Space::kHpSram] = 100;
+  from[Space::kLpSram] = 100;
+  Allocation to;
+  to[Space::kHpMram] = 100;
+  to[Space::kLpMram] = 100;
+  const MovementPlan plan = plan_movement(from, to);
+  // Both moves stay inside their cluster: SRAM -> MRAM locally.
+  EXPECT_EQ(plan.at(Space::kHpSram, Space::kHpMram), 100u);
+  EXPECT_EQ(plan.at(Space::kLpSram, Space::kLpMram), 100u);
+  EXPECT_EQ(plan.at(Space::kHpSram, Space::kLpMram), 0u);
+}
+
+TEST(MovementPlan, CrossClusterWhenNecessary) {
+  Allocation from;
+  from[Space::kHpSram] = 100;
+  Allocation to;
+  to[Space::kLpMram] = 100;
+  const MovementPlan plan = plan_movement(from, to);
+  EXPECT_EQ(plan.at(Space::kHpSram, Space::kLpMram), 100u);
+}
+
+TEST(EstimateMovement, ZeroPlanCostsNothing) {
+  const CostModel m = paper_model();
+  const MovementCost c = estimate_movement(m, MovementPlan{});
+  EXPECT_EQ(c.time, Time::zero());
+  EXPECT_DOUBLE_EQ(c.energy.as_pj(), 0.0);
+}
+
+TEST(EstimateMovement, EnergyIsReadPlusWrite) {
+  const CostModel m = paper_model();
+  MovementPlan plan;
+  plan.moved[static_cast<std::size_t>(Space::kHpSram)]
+            [static_cast<std::size_t>(Space::kHpMram)] = 1000;
+  const MovementCost c = estimate_movement(m, plan);
+  // 1000 HP-SRAM reads (508.93 mW * 1.12 ns) + 1000 HP-MRAM writes
+  // (133.78 mW * 11.81 ns); intra-cluster so no interface energy.
+  const double expect = 1000 * (508.93 * 1.12 + 133.78 * 11.81);
+  EXPECT_NEAR(c.energy.as_pj(), expect, 1.0);
+  // Write-dominated pipeline: 1000/4 lanes * 11.81 ns.
+  EXPECT_NEAR(c.time.as_ns(), 250 * 11.81, 1.0);
+}
+
+TEST(EstimateMovement, CrossClusterAddsInterfaceTerm) {
+  const CostModel m = paper_model();
+  MovementPlan cross;
+  cross.moved[static_cast<std::size_t>(Space::kHpSram)]
+             [static_cast<std::size_t>(Space::kLpMram)] = 1000;
+  const MovementCost cc = estimate_movement(m, cross);
+  // Energy = reads + writes + one interface byte per weight (0.12 pJ).
+  const double rw = 1000 * (508.93 * 1.12 + 47.78 * 14.65);
+  EXPECT_NEAR(cc.energy.as_pj(), rw + 1000 * 0.12, 1.0);
+  // Time includes the interface latency on top of the slowest stage
+  // (LP-MRAM writes, 250 per lane at 14.65 ns).
+  EXPECT_NEAR(cc.time.as_ns(), 250 * 14.65 + 2.0, 1.0);
+}
+
+TEST(EstimateMovement, TimeGrowsWithVolume) {
+  const CostModel m = paper_model();
+  MovementPlan small, big;
+  small.moved[0][1] = 100;
+  big.moved[0][1] = 10000;
+  EXPECT_LT(estimate_movement(m, small).time, estimate_movement(m, big).time);
+}
+
+TEST(BruteForce, FindsObviousOptima) {
+  const CostModel m = paper_model();
+  // Very relaxed constraint: expect the minimum-energy space to win. With
+  // uses=10 and no retention window pressure at tc, dynamic dominates:
+  // LP-SRAM has the cheapest dynamic energy.
+  const auto r = brute_force_placement(m, 100, Time::ms(100.0), 10);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.alloc[Space::kLpSram] + r.alloc[Space::kLpMram], 50u);
+}
+
+TEST(BruteForce, InfeasibleWhenTooTight) {
+  const CostModel m = paper_model();
+  const auto r = brute_force_placement(m, 10000, Time::ns(10.0), 100);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(BruteForce, RespectsTotalExactly) {
+  const CostModel m = paper_model();
+  const auto r = brute_force_placement(m, 1234, Time::ms(1.0), 100);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.alloc.total(), 1234u);
+}
+
+}  // namespace
+}  // namespace hhpim::placement

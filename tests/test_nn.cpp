@@ -1,0 +1,198 @@
+#include "nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/layer.hpp"
+#include "nn/quantize.hpp"
+#include "nn/zoo.hpp"
+
+namespace hhpim::nn {
+namespace {
+
+TEST(Layer, ConvParamsAndMacs) {
+  Layer l;
+  l.name = "c";
+  l.kind = LayerKind::kConv2d;
+  l.in = {16, 32, 32};
+  l.out = {32, 32, 32};
+  l.kernel = 3;
+  l.stride = 1;
+  EXPECT_NO_THROW(l.validate());
+  EXPECT_EQ(l.params(), 3u * 3 * 16 * 32);            // 4608
+  EXPECT_EQ(l.macs(), 4608u * 32 * 32);
+}
+
+TEST(Layer, GroupedConv) {
+  Layer l;
+  l.kind = LayerKind::kConv2d;
+  l.in = {16, 8, 8};
+  l.out = {32, 8, 8};
+  l.kernel = 1;
+  l.groups = 4;
+  EXPECT_EQ(l.params(), 1u * 1 * 4 * 32);
+}
+
+TEST(Layer, DepthwiseConv) {
+  Layer l;
+  l.name = "dw";
+  l.kind = LayerKind::kDwConv2d;
+  l.in = {24, 16, 16};
+  l.out = {24, 8, 8};
+  l.kernel = 3;
+  l.stride = 2;
+  l.groups = 24;
+  EXPECT_NO_THROW(l.validate());
+  EXPECT_EQ(l.params(), 9u * 24);
+  EXPECT_EQ(l.macs(), 9u * 24 * 8 * 8);
+}
+
+TEST(Layer, LinearAndWeightless) {
+  Layer fc;
+  fc.kind = LayerKind::kLinear;
+  fc.in = {128, 1, 1};
+  fc.out = {10, 1, 1};
+  EXPECT_EQ(fc.params(), 1280u);
+  EXPECT_EQ(fc.macs(), 1280u);
+
+  Layer pool;
+  pool.kind = LayerKind::kPool;
+  pool.in = {8, 4, 4};
+  pool.out = {8, 1, 1};
+  pool.stride = 4;
+  EXPECT_EQ(pool.params(), 0u);
+  EXPECT_EQ(pool.macs(), 0u);
+}
+
+TEST(Layer, ValidationCatchesBadShapes) {
+  Layer l;
+  l.name = "bad";
+  l.kind = LayerKind::kConv2d;
+  l.in = {16, 32, 32};
+  l.out = {32, 13, 32};  // wrong spatial dims for stride 1
+  l.kernel = 3;
+  EXPECT_THROW(l.validate(), std::invalid_argument);
+
+  Layer dw;
+  dw.name = "dw";
+  dw.kind = LayerKind::kDwConv2d;
+  dw.in = {16, 8, 8};
+  dw.out = {32, 8, 8};  // depthwise must preserve channels
+  EXPECT_THROW(dw.validate(), std::invalid_argument);
+}
+
+TEST(Model, BuilderTracksShapes) {
+  Model m{"tiny", 0.8};
+  m.input({3, 32, 32});
+  m.conv("c1", 8, 3, 2);
+  EXPECT_EQ(m.current_shape(), (TensorShape{8, 16, 16}));
+  m.dwconv("dw", 3, 2);
+  EXPECT_EQ(m.current_shape(), (TensorShape{8, 8, 8}));
+  m.pool("gap", 8);
+  m.linear("fc", 10);
+  EXPECT_EQ(m.current_shape(), (TensorShape{10, 1, 1}));
+  EXPECT_GT(m.structural_params(), 0u);
+  EXPECT_GT(m.structural_macs(), m.structural_params());
+}
+
+TEST(Model, CalibrationHitsTargetsExactly) {
+  Model m{"tiny", 0.8};
+  m.input({3, 32, 32});
+  m.conv("c1", 32, 3, 1);
+  m.conv("c2", 32, 3, 1);
+  m.linear("fc", 10);
+  m.calibrate(5000, 400000);
+  EXPECT_EQ(m.effective_params(), 5000u);
+  EXPECT_EQ(m.effective_macs(), 400000u);
+  EXPECT_GT(m.sparsity(), 0.0);
+  EXPECT_LE(m.sparsity(), 1.0);
+}
+
+TEST(Model, CalibrationRejectsImpossibleTargets) {
+  Model m{"tiny", 0.5};
+  m.input({3, 8, 8});
+  m.conv("c", 4, 1, 1);  // 12 params
+  EXPECT_THROW(m.calibrate(1000, 1000), std::invalid_argument);
+}
+
+TEST(Model, PimSplitFollowsRatio) {
+  Model m{"tiny", 0.75};
+  m.input({3, 16, 16});
+  m.conv("c", 16, 3, 1);
+  m.calibrate(400, 100000);
+  EXPECT_EQ(m.pim_macs(), 75000u);
+  EXPECT_EQ(m.core_ops(), 25000u);
+  EXPECT_NEAR(m.uses_per_weight(), 75000.0 / 400.0, 0.1);
+}
+
+TEST(Zoo, TableIVTotalsExact) {
+  const auto models = zoo::paper_models();
+  ASSERT_EQ(models.size(), 3u);
+  EXPECT_EQ(models[0].name(), "EfficientNet-B0");
+  EXPECT_EQ(models[0].effective_params(), 95'000u);
+  EXPECT_EQ(models[0].effective_macs(), 3'245'000u);
+  EXPECT_DOUBLE_EQ(models[0].pim_op_ratio(), 0.85);
+  EXPECT_EQ(models[1].name(), "MobileNetV2");
+  EXPECT_EQ(models[1].effective_params(), 101'000u);
+  EXPECT_EQ(models[1].effective_macs(), 2'528'000u);
+  EXPECT_DOUBLE_EQ(models[1].pim_op_ratio(), 0.80);
+  EXPECT_EQ(models[2].name(), "ResNet-18");
+  EXPECT_EQ(models[2].effective_params(), 256'000u);
+  EXPECT_EQ(models[2].effective_macs(), 29'580'000u);
+  EXPECT_DOUBLE_EQ(models[2].pim_op_ratio(), 0.75);
+}
+
+TEST(Zoo, PruningIsPhysical) {
+  // Sparsity must be a real pruning factor in (0, 1]: the structural network
+  // is at least as large as the pruned deployment.
+  for (const auto& m : zoo::paper_models()) {
+    EXPECT_GT(m.sparsity(), 0.0) << m.name();
+    EXPECT_LE(m.sparsity(), 1.0) << m.name();
+    EXPECT_GE(m.structural_params(), m.effective_params()) << m.name();
+    EXPECT_GT(m.layers().size(), 10u) << m.name();
+  }
+}
+
+TEST(Zoo, UsesPerWeightOrdering) {
+  // ResNet-18 reuses each weight far more than the mobile nets (29.58 M MACs
+  // over 256 k params): the ordering drives the placement economics.
+  const auto models = zoo::paper_models();
+  EXPECT_GT(models[2].uses_per_weight(), models[0].uses_per_weight());
+  EXPECT_GT(models[0].uses_per_weight(), models[1].uses_per_weight());
+}
+
+TEST(Quantize, RoundtripWithinScale) {
+  const std::vector<float> values{0.0f, 0.5f, -0.5f, 1.0f, -1.0f, 0.127f};
+  const QuantParams qp = QuantParams::choose(values);
+  for (const float v : values) {
+    const auto q = quantize_one(v, qp);
+    EXPECT_NEAR(dequantize_one(q, qp), v, qp.scale * 0.51);
+  }
+}
+
+TEST(Quantize, Saturates) {
+  QuantParams qp;
+  qp.scale = 0.01;
+  EXPECT_EQ(quantize_one(100.0f, qp), 127);
+  EXPECT_EQ(quantize_one(-100.0f, qp), -128);
+}
+
+TEST(Quantize, AccumulatorDequantization) {
+  QuantParams a{0.5};
+  QuantParams b{0.25};
+  // (2 * 0.5) * (4 * 0.25) = 1.0; acc = 2 * 4 = 8; 8 * 0.5 * 0.25 = 1.0.
+  EXPECT_FLOAT_EQ(dequantize_acc(8, a, b), 1.0f);
+}
+
+TEST(Quantize, VectorHelpers) {
+  const std::vector<float> vals{0.1f, -0.2f, 0.3f};
+  const QuantParams qp = QuantParams::choose(vals);
+  const auto q = quantize(vals, qp);
+  const auto back = dequantize(q, qp);
+  ASSERT_EQ(back.size(), vals.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_NEAR(back[i], vals[i], qp.scale);
+  }
+}
+
+}  // namespace
+}  // namespace hhpim::nn

@@ -1,0 +1,199 @@
+// Shape-level reproduction checks for the paper's headline claims.
+//
+// Absolute numbers differ from the paper (our substrate is a simulator, not
+// the authors' FPGA + synthesis flow; see EXPERIMENTS.md), so these tests
+// pin down the *qualitative* results: orderings, ratios, crossovers, and the
+// Fig. 6 allocation sequence.
+#include <gtest/gtest.h>
+
+#include "hhpim/metrics.hpp"
+#include "hhpim/processor.hpp"
+#include "nn/zoo.hpp"
+#include "workload/scenario.hpp"
+
+namespace hhpim::sys {
+namespace {
+
+using placement::Space;
+using workload::Scenario;
+
+SystemConfig cfg(ArchConfig arch, Time slice = Time::zero()) {
+  SystemConfig c;
+  c.arch = arch;
+  c.slice = slice;
+  c.lut_t_entries = 64;
+  c.lut_k_blocks = 64;
+  return c;
+}
+
+class PaperClaims : public ::testing::Test {
+ protected:
+  static const Processor& hhpim() {
+    static Processor p{cfg(ArchConfig::hhpim()), nn::zoo::efficientnet_b0()};
+    return p;
+  }
+
+  static Energy scenario_energy(ArchKind kind, Scenario scenario, int slices = 12) {
+    const nn::Model model = nn::zoo::efficientnet_b0();
+    const Time slice = hhpim().slice_length();
+    ArchConfig arch;
+    switch (kind) {
+      case ArchKind::kBaseline: arch = ArchConfig::baseline(); break;
+      case ArchKind::kHetero: arch = ArchConfig::hetero(); break;
+      case ArchKind::kHybrid: arch = ArchConfig::hybrid(); break;
+      case ArchKind::kHhpim: arch = ArchConfig::hhpim(); break;
+    }
+    workload::ScenarioConfig wc;
+    wc.slices = slices;
+    const auto loads = workload::generate(scenario, wc);
+    return run_cell(cfg(arch, slice), model, loads).energy;
+  }
+};
+
+TEST_F(PaperClaims, PeakSplitIsRoughlySixteenToNine) {
+  // Fig. 6 (green point): at peak performance the network is stored across
+  // HP-SRAM and LP-SRAM in a 16:9 ratio.
+  const auto& alloc = hhpim().current_allocation();  // parked; use policy peak
+  (void)alloc;
+  const nn::Model model = nn::zoo::efficientnet_b0();
+  Processor p{cfg(ArchConfig::hhpim()), model};
+  const auto s = p.run_slice(10);  // peak demand
+  const double hp = static_cast<double>(s.alloc[Space::kHpSram]);
+  const double lp = static_cast<double>(s.alloc[Space::kLpSram]);
+  ASSERT_GT(lp, 0.0);
+  EXPECT_NEAR(hp / lp, 16.0 / 9.0, 0.20);
+  // And no MRAM at peak: SRAM serves as weight storage (the HH-PIM ability
+  // conventional H-PIM lacks).
+  EXPECT_EQ(s.alloc[Space::kHpMram] + s.alloc[Space::kLpMram], 0u);
+}
+
+TEST_F(PaperClaims, MramOnlyPeakIsSlowerThanHybridPeak) {
+  // Fig. 6 (purple vs green point): storing weights only in MRAM (as in
+  // H-PIM) is slower than mixing in SRAM. Paper measures 1.43x; our LOAD
+  // serialization model gives ~1.2x.
+  const double ratio = hhpim().mram_only_task_time() / hhpim().peak_task_time();
+  EXPECT_GT(ratio, 1.05);
+  EXPECT_LT(ratio, 1.6);
+}
+
+TEST_F(PaperClaims, Fig6AllocationSequence) {
+  // As t_constraint relaxes, the optimizer walks from SRAM-heavy placements
+  // to LP-MRAM-only (the Fig. 6 progression).
+  const auto* lut = hhpim().lut();
+  ASSERT_NE(lut, nullptr);
+  const placement::LutEntry* peak = nullptr;
+  for (const auto& e : lut->entries()) {
+    if (e.feasible) {
+      peak = &e;
+      break;
+    }
+  }
+  ASSERT_NE(peak, nullptr);
+  const auto& relaxed = lut->entries().back();
+
+  // Near peak: SRAM dominates.
+  EXPECT_GT(peak->alloc[Space::kHpSram] + peak->alloc[Space::kLpSram],
+            peak->alloc.total() / 2);
+  // Fully relaxed: everything in LP-MRAM, the minimal-power memory.
+  EXPECT_EQ(relaxed.alloc[Space::kLpMram], relaxed.alloc.total());
+  // And the relaxed point is much cheaper than leaving the *unoptimized*
+  // (peak) placement in place for the same relaxed constraint (paper:
+  // 43.17 % E_task reduction; we require at least 25 %).
+  const Energy unoptimized = placement::task_energy(
+      hhpim().cost_model(), peak->alloc, relaxed.t_constraint);
+  EXPECT_LT(relaxed.predicted_task_energy.as_pj(), unoptimized.as_pj() * 0.75);
+}
+
+TEST_F(PaperClaims, Fig6EnergyMonotoneDecline) {
+  // E_task declines (quasi-linearly with plateaus) as t_constraint grows.
+  const auto* lut = hhpim().lut();
+  ASSERT_NE(lut, nullptr);
+  double prev = -1.0;
+  int increases = 0;
+  int feasible = 0;
+  for (const auto& e : lut->entries()) {
+    if (!e.feasible) continue;
+    ++feasible;
+    const double v = e.predicted_task_energy.as_pj();
+    if (prev >= 0.0 && v > prev * 1.02) ++increases;
+    prev = v;
+  }
+  ASSERT_GT(feasible, 8);
+  // Small quantization wiggles allowed, but no systematic increase.
+  EXPECT_LE(increases, feasible / 8);
+}
+
+TEST_F(PaperClaims, SavingsOrderingInLowLoad) {
+  // Case 1: HH-PIM saves the most vs Baseline, then Hetero, then Hybrid
+  // (paper: 86.23 % / 78.7 % / 66.5 %).
+  const Energy hh = scenario_energy(ArchKind::kHhpim, Scenario::kLowConstant);
+  const Energy base = scenario_energy(ArchKind::kBaseline, Scenario::kLowConstant);
+  const Energy het = scenario_energy(ArchKind::kHetero, Scenario::kLowConstant);
+  const Energy hyb = scenario_energy(ArchKind::kHybrid, Scenario::kLowConstant);
+
+  const double vs_base = energy_saving_percent(hh, base);
+  const double vs_het = energy_saving_percent(hh, het);
+  const double vs_hyb = energy_saving_percent(hh, hyb);
+
+  EXPECT_GT(vs_base, 60.0);
+  EXPECT_GT(vs_het, 50.0);
+  EXPECT_GT(vs_hyb, 30.0);
+  // The Baseline is the worst of the three comparison points, as in the
+  // paper. (The Hetero/Hybrid secondary ordering flips in our model — our
+  // MRAM per-access energy, the P*t product of Tables III and V, weighs
+  // Hybrid's dynamic cost more than the paper's; see EXPERIMENTS.md.)
+  EXPECT_GT(vs_base, vs_het);
+  EXPECT_GT(vs_base, vs_hyb);
+}
+
+TEST_F(PaperClaims, HighLoadNearlyTiesHetero) {
+  // Case 2: HH-PIM and Hetero-PIM both end up in HP-SRAM/LP-SRAM, so the
+  // gap collapses (paper: 3.72 %). Savings vs Baseline stay substantial.
+  const Energy hh = scenario_energy(ArchKind::kHhpim, Scenario::kHighConstant);
+  const Energy het = scenario_energy(ArchKind::kHetero, Scenario::kHighConstant);
+  const Energy base = scenario_energy(ArchKind::kBaseline, Scenario::kHighConstant);
+
+  EXPECT_LT(std::abs(energy_saving_percent(hh, het)), 12.0);
+  EXPECT_GT(energy_saving_percent(hh, base), 15.0);
+}
+
+TEST_F(PaperClaims, Case1BeatsCase2Savings) {
+  // Adaptivity pays the most when load is low.
+  const double low = energy_saving_percent(
+      scenario_energy(ArchKind::kHhpim, Scenario::kLowConstant),
+      scenario_energy(ArchKind::kBaseline, Scenario::kLowConstant));
+  const double high = energy_saving_percent(
+      scenario_energy(ArchKind::kHhpim, Scenario::kHighConstant),
+      scenario_energy(ArchKind::kBaseline, Scenario::kHighConstant));
+  EXPECT_GT(low, high);
+}
+
+TEST_F(PaperClaims, DynamicScenariosAllSave) {
+  // Cases 3-6 (Table VI): HH-PIM saves energy vs every comparison
+  // architecture in every dynamic scenario.
+  for (const Scenario s : {Scenario::kPeriodicSpike, Scenario::kPulsing}) {
+    const Energy hh = scenario_energy(ArchKind::kHhpim, s);
+    EXPECT_GT(energy_saving_percent(hh, scenario_energy(ArchKind::kBaseline, s)), 10.0)
+        << workload::case_name(s);
+    EXPECT_GT(energy_saving_percent(hh, scenario_energy(ArchKind::kHetero, s)), 0.0)
+        << workload::case_name(s);
+    EXPECT_GT(energy_saving_percent(hh, scenario_energy(ArchKind::kHybrid, s)), 10.0)
+        << workload::case_name(s);
+  }
+}
+
+TEST_F(PaperClaims, HhpimMeetsLatencyEverywhere) {
+  // "while meeting application latency requirements": no deadline violations
+  // across the six scenarios.
+  const nn::Model model = nn::zoo::efficientnet_b0();
+  for (const Scenario s : workload::all_scenarios()) {
+    workload::ScenarioConfig wc;
+    wc.slices = 8;
+    const auto loads = workload::generate(s, wc);
+    const auto cell = run_cell(cfg(ArchConfig::hhpim()), model, loads);
+    EXPECT_EQ(cell.deadline_violations, 0u) << workload::case_name(s);
+  }
+}
+
+}  // namespace
+}  // namespace hhpim::sys

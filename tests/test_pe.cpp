@@ -1,0 +1,106 @@
+#include "pe/processing_element.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hhpim::pe {
+namespace {
+
+using energy::EnergyLedger;
+using energy::PowerSpec;
+
+class PeTest : public ::testing::Test {
+ protected:
+  PowerSpec spec = PowerSpec::paper_45nm();
+  EnergyLedger ledger;
+};
+
+TEST_F(PeTest, SingleMacFunctionalAndTimed) {
+  ProcessingElement pe{"pe", spec.hp.pe, &ledger};
+  pe.power_on(Time::zero());
+  const auto r = pe.mac(Time::zero(), 3, -4, 10);
+  EXPECT_EQ(r.accumulator, 10 - 12);
+  EXPECT_EQ(r.complete - r.start, Time::ns(5.52));
+}
+
+TEST_F(PeTest, DotProduct) {
+  ProcessingElement pe{"pe", spec.lp.pe, &ledger};
+  pe.power_on(Time::zero());
+  const std::vector<std::int8_t> a{1, 2, 3, 4};
+  const std::vector<std::int8_t> b{5, 6, 7, 8};
+  const auto r = pe.dot(Time::zero(), a, b, 0);
+  EXPECT_EQ(r.accumulator, 5 + 12 + 21 + 32);
+  EXPECT_EQ(r.complete, Time::ns(4 * 10.68));
+  EXPECT_EQ(pe.mac_count(), 4u);
+}
+
+TEST_F(PeTest, DotLengthMismatchThrows) {
+  ProcessingElement pe{"pe", spec.hp.pe, &ledger};
+  pe.power_on(Time::zero());
+  const std::vector<std::int8_t> a{1, 2};
+  const std::vector<std::int8_t> b{1};
+  EXPECT_THROW(pe.dot(Time::zero(), a, b), std::invalid_argument);
+}
+
+TEST_F(PeTest, ComputeWhileGatedThrows) {
+  ProcessingElement pe{"pe", spec.hp.pe, &ledger};
+  EXPECT_THROW(pe.mac(Time::zero(), 1, 1, 0), std::logic_error);
+}
+
+TEST_F(PeTest, BurstsSerialize) {
+  ProcessingElement pe{"pe", spec.hp.pe, &ledger};
+  pe.power_on(Time::zero());
+  const auto r1 = pe.burst(Time::zero(), 10);
+  const auto r2 = pe.burst(Time::zero(), 5);
+  EXPECT_EQ(r2.start, r1.complete);
+  EXPECT_EQ(pe.busy_until(), Time::ns(15 * 5.52));
+}
+
+TEST_F(PeTest, EnergyMatchesTableV) {
+  ProcessingElement pe{"pe", spec.hp.pe, &ledger};
+  pe.power_on(Time::zero());
+  pe.burst(Time::zero(), 1000);
+  // 1000 MACs * 0.9 mW * 5.52 ns.
+  EXPECT_NEAR(ledger.total(energy::Activity::kCompute).as_pj(), 1000 * 4.968, 0.5);
+}
+
+TEST_F(PeTest, ChargeMacsSkipsTimeline) {
+  ProcessingElement pe{"pe", spec.hp.pe, &ledger};
+  const Energy e = pe.charge_macs(7);
+  EXPECT_NEAR(e.as_pj(), 7 * 4.968, 0.01);
+  EXPECT_EQ(pe.busy_until(), Time::zero());
+  EXPECT_EQ(pe.mac_count(), 7u);
+}
+
+TEST_F(PeTest, LeakageWindows) {
+  ProcessingElement pe{"pe", spec.hp.pe, &ledger};
+  pe.power_on(Time::zero());
+  pe.power_off(Time::ns(100));
+  // 0.48 mW * 100 ns.
+  EXPECT_NEAR(ledger.total(energy::Activity::kLeakage).as_pj(), 48.0, 0.01);
+}
+
+TEST(Requantize, ShiftAndSaturate) {
+  EXPECT_EQ(ProcessingElement::requantize(256, 2), 64);
+  EXPECT_EQ(ProcessingElement::requantize(100000, 4), 127);    // saturates high
+  EXPECT_EQ(ProcessingElement::requantize(-100000, 4), -128);  // saturates low
+  EXPECT_EQ(ProcessingElement::requantize(-64, 1), -32);
+  EXPECT_EQ(ProcessingElement::requantize(5, 0), 5);
+}
+
+class RequantizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RequantizeSweep, AlwaysWithinInt8) {
+  const int shift = GetParam();
+  for (std::int32_t acc = -(1 << 20); acc <= (1 << 20); acc += 997) {
+    const int v = ProcessingElement::requantize(acc, shift);
+    EXPECT_GE(v, -128);
+    EXPECT_LE(v, 127);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, RequantizeSweep, ::testing::Values(0, 1, 4, 8, 12));
+
+}  // namespace
+}  // namespace hhpim::pe

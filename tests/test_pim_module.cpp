@@ -1,0 +1,147 @@
+#include "pim/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hhpim::pim {
+namespace {
+
+using energy::Activity;
+using energy::ClusterKind;
+using energy::EnergyLedger;
+using energy::MemoryKind;
+using energy::PowerSpec;
+
+class PimModuleTest : public ::testing::Test {
+ protected:
+  PimModule make_module(ClusterKind kind, std::size_t mram = 64 * 1024,
+                        std::size_t sram = 64 * 1024) {
+    ModuleConfig c;
+    c.name = "m";
+    c.cluster = kind;
+    c.mram_bytes = mram;
+    c.sram_bytes = sram;
+    return PimModule{c, spec, &ledger};
+  }
+
+  PowerSpec spec = PowerSpec::paper_45nm();
+  EnergyLedger ledger;
+};
+
+TEST_F(PimModuleTest, ComputeBurstDurationIsReadPlusPePerMac) {
+  auto m = make_module(ClusterKind::kHighPerformance);
+  const auto r = m.compute_burst(Time::zero(), MemoryKind::kSram, 100);
+  // 100 * (1.12 + 5.52) ns.
+  EXPECT_EQ(r.complete - r.start, Time::ns(664.0));
+  const auto r2 = m.compute_burst(Time::zero(), MemoryKind::kMram, 10);
+  // Serialized behind the first burst; 10 * (2.62 + 5.52).
+  EXPECT_EQ(r2.start, r.complete);
+  EXPECT_EQ(r2.complete - r2.start, Time::ns(81.4));
+}
+
+TEST_F(PimModuleTest, MacLatencyMatchesTableIII) {
+  auto hp = make_module(ClusterKind::kHighPerformance);
+  auto lp = make_module(ClusterKind::kLowPower);
+  EXPECT_EQ(hp.mac_latency(MemoryKind::kSram), Time::ns(6.64));
+  EXPECT_EQ(hp.mac_latency(MemoryKind::kMram), Time::ns(8.14));
+  EXPECT_EQ(lp.mac_latency(MemoryKind::kSram), Time::ns(12.09));
+  EXPECT_EQ(lp.mac_latency(MemoryKind::kMram), Time::ns(13.64));
+}
+
+TEST_F(PimModuleTest, BurstEnergyMatchesHandComputation) {
+  auto m = make_module(ClusterKind::kLowPower);
+  m.compute_burst(Time::zero(), MemoryKind::kMram, 1000);
+  // Reads: 1000 * 179.05 mW * 2.96 ns; MACs: 1000 * 0.51 mW * 10.68 ns.
+  EXPECT_NEAR(ledger.total(Activity::kMemRead).as_pj(), 1000 * 529.988, 1.0);
+  EXPECT_NEAR(ledger.total(Activity::kCompute).as_pj(), 1000 * 5.4468, 0.1);
+}
+
+TEST_F(PimModuleTest, MramGatedOutsideBursts) {
+  auto m = make_module(ClusterKind::kHighPerformance);
+  m.compute_burst(Time::zero(), MemoryKind::kMram, 10);
+  const Time end = m.busy_until();
+  m.settle(Time::ms(1.0));
+  // MRAM leaked only during the burst window, not for the full millisecond.
+  const Energy mram_leak = Power::mw(2.98) * end;
+  EXPECT_NEAR(ledger.component_total_by_index(0, Activity::kLeakage).as_pj(),
+              mram_leak.as_pj(), 1.0);
+}
+
+TEST_F(PimModuleTest, SramLeaksWhileHoldingWeights) {
+  auto m = make_module(ClusterKind::kHighPerformance);
+  m.set_resident(MemoryKind::kSram, 1000, Time::zero());
+  m.set_resident(MemoryKind::kSram, 0, Time::us(1.0));
+  m.settle(Time::us(2.0));
+  // 1000 weights -> one 16 kB sub-array of the 64 kB macro powered for 1 us:
+  // 23.29 mW * 16/64.
+  EXPECT_NEAR(ledger.total(Activity::kLeakage).as_pj(), 23.29 * 1000.0 / 4.0, 1.0);
+}
+
+TEST_F(PimModuleTest, ResidencyRespectsCapacity) {
+  auto m = make_module(ClusterKind::kHighPerformance);
+  EXPECT_NO_THROW(m.set_resident(MemoryKind::kSram, 64 * 1024, Time::zero()));
+  EXPECT_THROW(m.set_resident(MemoryKind::kSram, 64 * 1024 + 1, Time::zero()),
+               std::invalid_argument);
+  EXPECT_EQ(m.resident(MemoryKind::kSram), 64u * 1024);
+}
+
+TEST_F(PimModuleTest, NoMramModuleRejectsMramOps) {
+  auto m = make_module(ClusterKind::kHighPerformance, /*mram=*/0);
+  EXPECT_FALSE(m.has_mram());
+  EXPECT_EQ(m.weight_capacity(MemoryKind::kMram), 0u);
+  EXPECT_THROW(m.compute_burst(Time::zero(), MemoryKind::kMram, 1), std::logic_error);
+  EXPECT_THROW(m.set_resident(MemoryKind::kMram, 1, Time::zero()), std::invalid_argument);
+}
+
+TEST_F(PimModuleTest, StreamTimingsUseReadAndWriteLatencies) {
+  auto m = make_module(ClusterKind::kHighPerformance);
+  const auto out = m.stream_out(Time::zero(), MemoryKind::kMram, 100);
+  EXPECT_EQ(out.complete - out.start, Time::ns(262.0));
+  const auto in = m.stream_in(Time::zero(), MemoryKind::kMram, 100);
+  EXPECT_EQ(in.complete - in.start, Time::ns(1181.0));  // writes are slow
+}
+
+TEST_F(PimModuleTest, IntraMovePipelinesReadAndWrite) {
+  auto m = make_module(ClusterKind::kHighPerformance);
+  const auto r = m.intra_move(Time::zero(), MemoryKind::kMram, MemoryKind::kSram, 100);
+  // Read 2.62/w, write 1.12/w: write-side hidden under reads; one write lead-out.
+  const Time expected = Time::ns(262.0) + Time::ns(1.12);
+  EXPECT_EQ(r.complete - r.start, expected);
+  EXPECT_THROW(m.intra_move(Time::zero(), MemoryKind::kSram, MemoryKind::kSram, 1),
+               std::invalid_argument);
+}
+
+TEST_F(PimModuleTest, FunctionalDotMatchesBurstTiming) {
+  auto m = make_module(ClusterKind::kHighPerformance);
+  // Preload weights functionally.
+  const std::vector<std::int8_t> weights{3, -2, 7, 1, -5, 4, 0, 9};
+  auto& sram = m.bank(MemoryKind::kSram);
+  sram.power_on(Time::zero());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    sram.poke(i, static_cast<std::uint8_t>(weights[i]));
+  }
+  const std::vector<std::int8_t> acts{1, 2, 3, 4, 5, 6, 7, 8};
+
+  BurstResult timing;
+  const std::int32_t acc =
+      m.compute_dot(Time::zero(), MemoryKind::kSram, 0, acts.data(), acts.size(), &timing);
+
+  std::int32_t expected = 0;
+  for (std::size_t i = 0; i < acts.size(); ++i) expected += weights[i] * acts[i];
+  EXPECT_EQ(acc, expected);
+
+  // Op-level LOAD->EXECUTE serialization must equal the burst model exactly.
+  auto m2 = make_module(ClusterKind::kHighPerformance);
+  const auto burst = m2.compute_burst(Time::zero(), MemoryKind::kSram, acts.size());
+  EXPECT_EQ(timing.complete - timing.start, burst.complete - burst.start);
+}
+
+TEST_F(PimModuleTest, CapacityInWeights) {
+  auto m = make_module(ClusterKind::kHighPerformance, 32 * 1024, 16 * 1024);
+  EXPECT_EQ(m.weight_capacity(MemoryKind::kMram), 32u * 1024);  // int8 = 1 byte
+  EXPECT_EQ(m.weight_capacity(MemoryKind::kSram), 16u * 1024);
+}
+
+}  // namespace
+}  // namespace hhpim::pim

@@ -1,0 +1,158 @@
+#include "hhpim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hhpim/arch_config.hpp"
+
+namespace hhpim::sys {
+namespace {
+
+using energy::PowerSpec;
+using placement::Allocation;
+using placement::AllocationLut;
+using placement::CostModel;
+using placement::LutParams;
+using placement::Space;
+
+CostModel paper_model(double uses = 29.0) {
+  return CostModel::build(PowerSpec::paper_45nm(),
+                          placement::ClusterShape{4, 64 * 1024, 64 * 1024},
+                          placement::ClusterShape{4, 64 * 1024, 64 * 1024}, uses);
+}
+
+TEST(ArchConfig, TableI) {
+  const auto configs = ArchConfig::paper_table1();
+  ASSERT_EQ(configs.size(), 4u);
+
+  EXPECT_EQ(configs[0].kind, ArchKind::kBaseline);
+  EXPECT_EQ(configs[0].hp_modules, 8u);
+  EXPECT_EQ(configs[0].lp_modules, 0u);
+  EXPECT_EQ(configs[0].mram_kb_per_module, 0u);
+  EXPECT_EQ(configs[0].sram_kb_per_module, 128u);
+
+  EXPECT_EQ(configs[1].kind, ArchKind::kHetero);
+  EXPECT_EQ(configs[1].hp_modules, 4u);
+  EXPECT_EQ(configs[1].lp_modules, 4u);
+  EXPECT_EQ(configs[1].sram_kb_per_module, 128u);
+
+  EXPECT_EQ(configs[2].kind, ArchKind::kHybrid);
+  EXPECT_EQ(configs[2].hp_modules, 8u);
+  EXPECT_EQ(configs[2].mram_kb_per_module, 64u);
+  EXPECT_EQ(configs[2].sram_kb_per_module, 64u);
+
+  EXPECT_EQ(configs[3].kind, ArchKind::kHhpim);
+  EXPECT_EQ(configs[3].hp_modules, 4u);
+  EXPECT_EQ(configs[3].lp_modules, 4u);
+  EXPECT_EQ(configs[3].mram_kb_per_module, 64u);
+  EXPECT_STREQ(to_string(ArchKind::kHhpim), "HH-PIM");
+}
+
+TEST(BalancedSplit, MatchesLatencyRatio) {
+  const CostModel m = paper_model();
+  const Allocation a = balanced_sram_split(m, 25000);
+  EXPECT_EQ(a.total(), 25000u);
+  // Per-weight HP-SRAM 6.64 ns vs LP-SRAM 12.09 ns (both / 4 modules):
+  // x_hp / x_lp should track 12.09 / 6.64 = 1.82.
+  const double ratio = static_cast<double>(a[Space::kHpSram]) /
+                       static_cast<double>(a[Space::kLpSram]);
+  EXPECT_NEAR(ratio, 12.09 / 6.64, 0.01);
+  // Balance: the two cluster times differ by at most one weight's worth.
+  const Time hp = placement::cluster_time(m, a, energy::ClusterKind::kHighPerformance);
+  const Time lp = placement::cluster_time(m, a, energy::ClusterKind::kLowPower);
+  const Time gap = hp > lp ? hp - lp : lp - hp;
+  EXPECT_LE(gap, m.at(Space::kLpSram).time_per_weight * 2);
+}
+
+TEST(BalancedSplit, SixteenToNineAtTwentyFiveUnits) {
+  // The paper's peak point stores the network 16:9 between HP-SRAM and
+  // LP-SRAM. With 25 equal units our integer balance lands exactly there.
+  const CostModel m = paper_model();
+  const Allocation a = balanced_sram_split(m, 25);
+  EXPECT_EQ(a[Space::kHpSram], 16u);
+  EXPECT_EQ(a[Space::kLpSram], 9u);
+}
+
+TEST(BalancedSplit, HpOnlyWhenNoLpCluster) {
+  const CostModel m = CostModel::build(PowerSpec::paper_45nm(),
+                                       placement::ClusterShape{8, 0, 128 * 1024},
+                                       placement::ClusterShape{0, 0, 0}, 29.0);
+  const Allocation a = balanced_sram_split(m, 1000);
+  EXPECT_EQ(a[Space::kHpSram], 1000u);
+  EXPECT_EQ(a[Space::kLpSram], 0u);
+}
+
+TEST(StaticPolicy, AlwaysReturnsFixedPlacement) {
+  Allocation fixed;
+  fixed[Space::kHpMram] = 777;
+  StaticPolicy policy{fixed, Time::ms(10.0)};
+  EXPECT_EQ(policy.initial(), fixed);
+  const auto d = policy.decide(Allocation{}, 5);
+  EXPECT_EQ(d.alloc, fixed);
+  EXPECT_EQ(d.t_constraint, Time::ms(2.0));
+  EXPECT_TRUE(d.feasible);
+  const auto idle = policy.decide(fixed, 0);
+  EXPECT_EQ(idle.t_constraint, Time::ms(10.0));
+  EXPECT_EQ(idle.plan.total(), 0u);
+}
+
+class DynamicPolicyTest : public ::testing::Test {
+ protected:
+  DynamicPolicyTest() : model(paper_model()) {
+    LutParams p;
+    p.slice = Time::ms(12.0);
+    p.total_weights = 20000;
+    p.t_entries = 48;
+    p.k_blocks = 48;
+    policy = std::make_unique<DynamicLutPolicy>(AllocationLut::build(model, p), model);
+  }
+
+  CostModel model;
+  std::unique_ptr<DynamicLutPolicy> policy;
+};
+
+TEST_F(DynamicPolicyTest, IdleSlicesPark) {
+  const auto d = policy->decide(policy->peak_allocation(), 0);
+  // Parking = the most relaxed LUT entry, which avoids SRAM retention.
+  EXPECT_EQ(d.alloc, policy->lut().entries().back().alloc);
+  EXPECT_GT(d.plan.total(), 0u);  // weights actually move out of SRAM
+}
+
+TEST_F(DynamicPolicyTest, HighLoadGoesFast) {
+  const auto d = policy->decide(policy->initial(), 10);
+  // At 10 tasks per slice the budget is ~peak: placement must be SRAM-heavy.
+  const std::uint64_t sram = d.alloc[Space::kHpSram] + d.alloc[Space::kLpSram];
+  EXPECT_GT(sram, d.alloc.total() / 2);
+  EXPECT_LE(placement::task_time(model, d.alloc), d.t_constraint);
+}
+
+TEST_F(DynamicPolicyTest, LowLoadGoesFrugal) {
+  const auto d = policy->decide(policy->initial(), 1);
+  // One task in a whole slice: the optimizer should lean on LP/MRAM.
+  const std::uint64_t frugal = d.alloc[Space::kLpMram] + d.alloc[Space::kLpSram] +
+                               d.alloc[Space::kHpMram];
+  EXPECT_GT(frugal, d.alloc.total() / 2);
+  EXPECT_TRUE(d.feasible);
+}
+
+TEST_F(DynamicPolicyTest, MovementBudgetTightensConstraint) {
+  // Transitioning from a far-away placement must shrink t_constraint below
+  // the no-movement value.
+  Allocation far;
+  far[Space::kHpMram] = 20000;
+  const auto d = policy->decide(far, 4);
+  EXPECT_LE(d.t_constraint, Time::ms(3.0));
+  if (d.plan.total() > 0) {
+    EXPECT_GT(d.movement_time, Time::zero());
+    EXPECT_GT(d.movement_energy.as_pj(), 0.0);
+  }
+}
+
+TEST_F(DynamicPolicyTest, DecisionsTotalIsConserved) {
+  for (const int n : {0, 1, 2, 5, 10}) {
+    const auto d = policy->decide(policy->initial(), n);
+    EXPECT_EQ(d.alloc.total(), 20000u) << n;
+  }
+}
+
+}  // namespace
+}  // namespace hhpim::sys

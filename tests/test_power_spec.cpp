@@ -1,0 +1,87 @@
+#include "energy/power_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhpim::energy {
+namespace {
+
+TEST(PowerSpec, TableIIILatencies) {
+  const PowerSpec s = PowerSpec::paper_45nm();
+  EXPECT_EQ(s.hp.mram_timing.read, Time::ns(2.62));
+  EXPECT_EQ(s.hp.mram_timing.write, Time::ns(11.81));
+  EXPECT_EQ(s.hp.sram_timing.read, Time::ns(1.12));
+  EXPECT_EQ(s.hp.sram_timing.write, Time::ns(1.12));
+  EXPECT_EQ(s.hp.pe.mac_latency, Time::ns(5.52));
+  EXPECT_EQ(s.lp.mram_timing.read, Time::ns(2.96));
+  EXPECT_EQ(s.lp.mram_timing.write, Time::ns(14.65));
+  EXPECT_EQ(s.lp.sram_timing.read, Time::ns(1.41));
+  EXPECT_EQ(s.lp.pe.mac_latency, Time::ns(10.68));
+  EXPECT_DOUBLE_EQ(s.hp.vdd, 1.2);
+  EXPECT_DOUBLE_EQ(s.lp.vdd, 0.8);
+}
+
+TEST(PowerSpec, TableVPowers) {
+  const PowerSpec s = PowerSpec::paper_45nm();
+  EXPECT_DOUBLE_EQ(s.hp.mram_power.dyn_read.as_mw(), 428.48);
+  EXPECT_DOUBLE_EQ(s.hp.mram_power.dyn_write.as_mw(), 133.78);
+  EXPECT_DOUBLE_EQ(s.hp.mram_power.leakage.as_mw(), 2.98);
+  EXPECT_DOUBLE_EQ(s.hp.sram_power.dyn_read.as_mw(), 508.93);
+  EXPECT_DOUBLE_EQ(s.hp.sram_power.dyn_write.as_mw(), 500.0);
+  EXPECT_DOUBLE_EQ(s.hp.sram_power.leakage.as_mw(), 23.29);
+  EXPECT_DOUBLE_EQ(s.lp.mram_power.dyn_read.as_mw(), 179.05);
+  EXPECT_DOUBLE_EQ(s.lp.mram_power.leakage.as_mw(), 0.84);
+  EXPECT_DOUBLE_EQ(s.lp.sram_power.leakage.as_mw(), 5.45);
+  EXPECT_DOUBLE_EQ(s.hp.pe.dynamic.as_mw(), 0.90);
+  EXPECT_DOUBLE_EQ(s.lp.pe.leakage.as_mw(), 0.25);
+}
+
+TEST(PowerSpec, AccessEnergiesMatchHandComputation) {
+  const PowerSpec s = PowerSpec::paper_45nm();
+  // HP-MRAM read: 428.48 mW * 2.62 ns.
+  EXPECT_NEAR(s.hp.read_energy(MemoryKind::kMram).as_pj(), 1122.6, 0.1);
+  // HP-SRAM read: 508.93 mW * 1.12 ns.
+  EXPECT_NEAR(s.hp.read_energy(MemoryKind::kSram).as_pj(), 570.0, 0.1);
+  // LP-SRAM write: 177.30 mW * 1.41 ns.
+  EXPECT_NEAR(s.lp.write_energy(MemoryKind::kSram).as_pj(), 250.0, 0.1);
+  // HP PE MAC: 0.90 mW * 5.52 ns.
+  EXPECT_NEAR(s.hp.pe.mac_energy().as_pj(), 4.968, 0.001);
+}
+
+TEST(PowerSpec, MemoryOrderingsFromThePaper) {
+  const PowerSpec s = PowerSpec::paper_45nm();
+  // SRAM is faster than MRAM; MRAM writes are the slowest operation.
+  EXPECT_LT(s.hp.sram_timing.read, s.hp.mram_timing.read);
+  EXPECT_LT(s.hp.mram_timing.read, s.hp.mram_timing.write);
+  // LP is slower but leaks far less.
+  EXPECT_GT(s.lp.pe.mac_latency, s.hp.pe.mac_latency);
+  EXPECT_LT(s.lp.sram_power.leakage, s.hp.sram_power.leakage);
+  // MRAM leaks an order of magnitude less than SRAM (the non-volatility win).
+  EXPECT_LT(s.hp.mram_power.leakage.as_mw() * 5, s.hp.sram_power.leakage.as_mw());
+}
+
+TEST(PowerSpecScaled, StretchesTimeKeepsAccessEnergy) {
+  const PowerSpec base = PowerSpec::paper_45nm();
+  const PowerSpec s = base.scaled(4.0);
+  EXPECT_EQ(s.hp.sram_timing.read, Time::ns(4.48));
+  EXPECT_EQ(s.hp.pe.mac_latency, Time::ns(22.08));
+  // Per-access dynamic energy is invariant under the time-base stretch.
+  for (const MemoryKind m : {MemoryKind::kMram, MemoryKind::kSram}) {
+    EXPECT_NEAR(s.hp.read_energy(m).as_pj(), base.hp.read_energy(m).as_pj(), 1e-6);
+    EXPECT_NEAR(s.lp.write_energy(m).as_pj(), base.lp.write_energy(m).as_pj(), 1e-6);
+  }
+  EXPECT_NEAR(s.hp.pe.mac_energy().as_pj(), base.hp.pe.mac_energy().as_pj(), 1e-9);
+  // Leakage power is genuinely per-wall-time: unchanged.
+  EXPECT_EQ(s.hp.sram_power.leakage, base.hp.sram_power.leakage);
+  EXPECT_EQ(s.lp.mram_power.leakage, base.lp.mram_power.leakage);
+}
+
+TEST(PowerSpec, ModuleAccessorSelectsCluster) {
+  const PowerSpec s = PowerSpec::paper_45nm();
+  EXPECT_DOUBLE_EQ(s.module(ClusterKind::kHighPerformance).vdd, 1.2);
+  EXPECT_DOUBLE_EQ(s.module(ClusterKind::kLowPower).vdd, 0.8);
+  EXPECT_STREQ(to_string(ClusterKind::kHighPerformance), "HP");
+  EXPECT_STREQ(to_string(MemoryKind::kMram), "MRAM");
+}
+
+}  // namespace
+}  // namespace hhpim::energy

@@ -1,0 +1,160 @@
+#include "hhpim/processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hhpim/metrics.hpp"
+#include "nn/zoo.hpp"
+#include "workload/scenario.hpp"
+
+namespace hhpim::sys {
+namespace {
+
+using placement::Space;
+
+SystemConfig test_config(ArchConfig arch) {
+  SystemConfig c;
+  c.arch = arch;
+  c.lut_t_entries = 48;  // keep LUT construction fast in tests
+  c.lut_k_blocks = 48;
+  return c;
+}
+
+class ProcessorTest : public ::testing::Test {
+ protected:
+  nn::Model model = nn::zoo::efficientnet_b0();
+};
+
+TEST_F(ProcessorTest, SliceLengthDerivedFromPeak) {
+  Processor p{test_config(ArchConfig::hhpim()), model};
+  // T = 10 * peak + 1 % margin.
+  EXPECT_NEAR(p.slice_length().as_ms(), p.peak_task_time().as_ms() * 10.1, 0.01);
+  EXPECT_GT(p.mram_only_task_time(), p.peak_task_time());
+}
+
+TEST_F(ProcessorTest, InventoryMatchesTableI) {
+  Processor p{test_config(ArchConfig::hhpim()), model};
+  const Inventory inv = p.inventory();
+  EXPECT_EQ(inv.hp_modules, 4u);
+  EXPECT_EQ(inv.lp_modules, 4u);
+  EXPECT_EQ(inv.mram_banks, 8u);
+  EXPECT_EQ(inv.sram_banks, 8u);
+  EXPECT_EQ(inv.pes, 8u);
+  EXPECT_EQ(inv.controllers, 2u);
+  EXPECT_EQ(inv.mram_bytes, 8u * 64 * 1024);
+
+  Processor base{test_config(ArchConfig::baseline()), model};
+  const Inventory binv = base.inventory();
+  EXPECT_EQ(binv.hp_modules, 8u);
+  EXPECT_EQ(binv.mram_banks, 0u);
+  EXPECT_EQ(binv.controllers, 1u);
+  EXPECT_EQ(binv.sram_bytes, 8u * 128 * 1024);
+}
+
+TEST_F(ProcessorTest, InitialResidencyMatchesPolicy) {
+  Processor p{test_config(ArchConfig::hybrid()), model};
+  EXPECT_EQ(p.current_allocation()[Space::kHpMram], model.effective_params());
+  EXPECT_EQ(p.current_allocation()[Space::kHpSram], 0u);
+
+  Processor h{test_config(ArchConfig::hhpim()), model};
+  EXPECT_EQ(h.current_allocation().total(), model.effective_params());
+  ASSERT_NE(h.lut(), nullptr);
+  EXPECT_EQ(p.lut(), nullptr);
+}
+
+TEST_F(ProcessorTest, IdleSliceConsumesAlmostNothingOnHhpim) {
+  Processor p{test_config(ArchConfig::hhpim()), model};
+  const auto s = p.run_slice(0);
+  // Parked in MRAM + everything gated: tiny or zero energy.
+  EXPECT_LT(s.energy.as_uj(), 50.0);
+  EXPECT_EQ(s.tasks_executed, 0);
+}
+
+TEST_F(ProcessorTest, IdleSliceStillLeaksOnBaseline) {
+  Processor p{test_config(ArchConfig::baseline()), model};
+  const auto s = p.run_slice(0);
+  // SRAM retention for the whole slice: 95 k weights spread over 8 modules ->
+  // 11875 B each -> one 16 kB sub-array powered out of the 128 kB macro
+  // (46.58 mW full-macro leakage).
+  const double per_module_mw = 46.58 * (16384.0 / 131072.0);
+  const double expected_mj = 8 * per_module_mw * 1e-3 * p.slice_length().as_s() * 1e3;
+  EXPECT_NEAR(s.energy.as_mj(), expected_mj, expected_mj * 0.05);
+}
+
+TEST_F(ProcessorTest, BusyTimeScalesWithLoad) {
+  // Fixed placement (Hybrid-PIM) so per-task time is constant across slices.
+  Processor p{test_config(ArchConfig::hybrid()), model};
+  const auto s2 = p.run_slice(2);
+  const auto s4 = p.run_slice(4);
+  EXPECT_NEAR(s4.busy_time.as_ms() / s2.busy_time.as_ms(), 2.0, 0.05);
+  EXPECT_FALSE(s2.deadline_violated);
+  EXPECT_FALSE(s4.deadline_violated);
+}
+
+TEST_F(ProcessorTest, PeakLoadMeetsDeadline) {
+  Processor p{test_config(ArchConfig::hhpim()), model};
+  for (int i = 0; i < 3; ++i) {
+    const auto s = p.run_slice(10);
+    EXPECT_FALSE(s.deadline_violated) << "slice " << i;
+  }
+}
+
+TEST_F(ProcessorTest, EnergyLedgerBalancesSliceStats) {
+  Processor p{test_config(ArchConfig::hhpim()), model};
+  Energy sum = Energy::zero();
+  for (const int n : {0, 3, 10, 1}) sum += p.run_slice(n).energy;
+  EXPECT_NEAR(p.ledger().total().as_pj(), sum.as_pj(), 1.0);
+}
+
+TEST_F(ProcessorTest, PlannerPredictionTracksMeasurement) {
+  // The LUT's predicted task energy and the DES measurement agree within
+  // modeling tolerance (movement, controller overheads, PE leakage are on
+  // top of the planner's estimate).
+  Processor p{test_config(ArchConfig::hhpim()), model};
+  p.run_slice(4);  // transition
+  const auto s = p.run_slice(4);
+  ASSERT_NE(p.lut(), nullptr);
+  const auto& entry = p.lut()->lookup(p.slice_length() / 4);
+  ASSERT_TRUE(entry.feasible);
+  const double predicted_slice = entry.predicted_task_energy.as_mj() * 4;
+  EXPECT_NEAR(s.energy.as_mj(), predicted_slice, predicted_slice * 0.30);
+}
+
+TEST_F(ProcessorTest, RunScenarioExecutesAllTasks) {
+  Processor p{test_config(ArchConfig::hhpim()), model};
+  const std::vector<int> loads{2, 5, 0, 10, 1};
+  const RunStats run = p.run_scenario(loads);
+  EXPECT_EQ(run.tasks, 18u);
+  EXPECT_EQ(run.slices.size(), loads.size() + 1);  // +1 drain slice
+  EXPECT_EQ(run.deadline_violations, 0u);
+  EXPECT_GT(run.total_energy.as_pj(), 0.0);
+  EXPECT_GT(run.mean_slice_energy().as_pj(), 0.0);
+}
+
+TEST_F(ProcessorTest, AllArchitecturesRunAllModels) {
+  for (const auto& arch : ArchConfig::paper_table1()) {
+    for (const auto& m : nn::zoo::paper_models()) {
+      SystemConfig c = test_config(arch);
+      Processor p{c, m};
+      const auto s = p.run_slice(2);
+      EXPECT_GT(s.energy.as_pj(), 0.0) << arch.name << " / " << m.name();
+    }
+  }
+}
+
+TEST_F(ProcessorTest, EnergySavingMetric) {
+  EXPECT_DOUBLE_EQ(energy_saving_percent(Energy::mj(1.0), Energy::mj(4.0)), 75.0);
+  EXPECT_DOUBLE_EQ(energy_saving_percent(Energy::mj(4.0), Energy::mj(4.0)), 0.0);
+  EXPECT_DOUBLE_EQ(energy_saving_percent(Energy::mj(1.0), Energy::zero()), 0.0);
+}
+
+TEST_F(ProcessorTest, RunCellIsRepeatable) {
+  const auto loads = workload::generate(workload::Scenario::kPulsing,
+                                        workload::ScenarioConfig{.slices = 6});
+  const SystemConfig c = test_config(ArchConfig::hhpim());
+  const auto a = run_cell(c, model, loads);
+  const auto b = run_cell(c, model, loads);
+  EXPECT_DOUBLE_EQ(a.energy.as_pj(), b.energy.as_pj());  // fully deterministic
+}
+
+}  // namespace
+}  // namespace hhpim::sys

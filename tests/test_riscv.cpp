@@ -1,0 +1,332 @@
+#include "riscv/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "riscv/bus.hpp"
+#include "riscv/rv_asm.hpp"
+
+namespace hhpim::riscv {
+namespace {
+
+/// Assembles, loads at 0, runs until halt, returns the CPU for inspection.
+class Machine {
+ public:
+  explicit Machine(const std::string& source, std::size_t ram_bytes = 64 * 1024)
+      : ram(ram_bytes), cpu(&bus) {
+    bus.map(0x0000'0000, static_cast<std::uint32_t>(ram_bytes), &ram);
+    bus.map(0x1000'0000, 0x100, &console);
+    const auto r = assemble_rv32(source);
+    if (std::holds_alternative<RvAsmError>(r)) {
+      const auto& e = std::get<RvAsmError>(r);
+      throw std::runtime_error("asm error line " + std::to_string(e.line) + ": " +
+                               e.message);
+    }
+    const auto& words = std::get<std::vector<std::uint32_t>>(r);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      ram.store(static_cast<std::uint32_t>(i * 4), 4, words[i]);
+    }
+  }
+
+  Ram ram;
+  Console console;
+  Bus bus;
+  Cpu cpu;
+};
+
+TEST(RvAsm, RegisterNames) {
+  EXPECT_EQ(parse_register("x0"), 0);
+  EXPECT_EQ(parse_register("zero"), 0);
+  EXPECT_EQ(parse_register("sp"), 2);
+  EXPECT_EQ(parse_register("a0"), 10);
+  EXPECT_EQ(parse_register("t6"), 31);
+  EXPECT_EQ(parse_register("x31"), 31);
+  EXPECT_EQ(parse_register("x32"), -1);
+  EXPECT_EQ(parse_register("bogus"), -1);
+}
+
+TEST(Cpu, ArithmeticImmediates) {
+  Machine m(R"(
+      addi a0, zero, 100
+      addi a0, a0, -30
+      slti a1, a0, 71
+      xori a2, a0, 0xff
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.halt_reason(), HaltReason::kEcall);
+  EXPECT_EQ(m.cpu.reg(10), 70u);
+  EXPECT_EQ(m.cpu.reg(11), 1u);
+  EXPECT_EQ(m.cpu.reg(12), 70u ^ 0xffu);
+}
+
+TEST(Cpu, LuiAuipcAndLi) {
+  Machine m(R"(
+      lui a0, 0x12345
+      li a1, 0x12345678
+      li a2, -5
+      auipc a3, 0
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.reg(10), 0x12345000u);
+  EXPECT_EQ(m.cpu.reg(11), 0x12345678u);
+  EXPECT_EQ(m.cpu.reg(12), 0xfffffffbu);
+  // pc of the auipc: lui (1 word) + large li (2 words) + small li (1 word).
+  EXPECT_EQ(m.cpu.reg(13), 16u);
+}
+
+TEST(Cpu, BranchesAndLoop) {
+  // Sum 1..10 with a loop.
+  Machine m(R"(
+      li t0, 0      # sum
+      li t1, 1      # i
+      li t2, 11
+    loop:
+      add t0, t0, t1
+      addi t1, t1, 1
+      blt t1, t2, loop
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.reg(5), 55u);
+}
+
+TEST(Cpu, MemoryLoadsAndStores) {
+  Machine m(R"(
+      li t0, 0x1000
+      li t1, -2
+      sw t1, 0(t0)
+      lw a0, 0(t0)
+      lh a1, 0(t0)
+      lhu a2, 0(t0)
+      lb a3, 0(t0)
+      lbu a4, 0(t0)
+      sb t1, 8(t0)
+      lbu a5, 8(t0)
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.reg(10), 0xfffffffeu);
+  EXPECT_EQ(m.cpu.reg(11), 0xfffffffeu);  // lh sign-extends
+  EXPECT_EQ(m.cpu.reg(12), 0x0000fffeu);  // lhu zero-extends
+  EXPECT_EQ(m.cpu.reg(13), 0xfffffffeu);
+  EXPECT_EQ(m.cpu.reg(14), 0x000000feu);
+  EXPECT_EQ(m.cpu.reg(15), 0x000000feu);
+}
+
+TEST(Cpu, ShiftsAndCompares) {
+  Machine m(R"(
+      li t0, -16
+      srai a0, t0, 2
+      srli a1, t0, 28
+      slli a2, t0, 1
+      li t1, 5
+      sltu a3, t1, t0    # unsigned: 5 < 0xfff0 -> 1
+      slt a4, t0, t1     # signed: -16 < 5 -> 1
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.reg(10), 0xfffffffcu);
+  EXPECT_EQ(m.cpu.reg(11), 0xfu);
+  EXPECT_EQ(m.cpu.reg(12), 0xffffffe0u);
+  EXPECT_EQ(m.cpu.reg(13), 1u);
+  EXPECT_EQ(m.cpu.reg(14), 1u);
+}
+
+TEST(Cpu, MExtension) {
+  Machine m(R"(
+      li t0, 7
+      li t1, -3
+      mul a0, t0, t1
+      mulh a1, t0, t1
+      div a2, t1, t0
+      rem a3, t1, t0
+      divu a4, t1, t0
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.reg(10), static_cast<std::uint32_t>(-21));
+  EXPECT_EQ(m.cpu.reg(11), 0xffffffffu);  // high bits of negative product
+  EXPECT_EQ(m.cpu.reg(12), 0u);           // -3 / 7 truncates toward zero
+  EXPECT_EQ(m.cpu.reg(13), static_cast<std::uint32_t>(-3));
+  EXPECT_EQ(m.cpu.reg(14), 0xfffffffdu / 7u);
+}
+
+TEST(Cpu, DivisionEdgeCases) {
+  Machine m(R"(
+      li t0, 5
+      li t1, 0
+      div a0, t0, t1     # div by zero -> -1
+      rem a1, t0, t1     # rem by zero -> dividend
+      li t2, 0x80000000
+      li t3, -1
+      div a2, t2, t3     # overflow -> INT_MIN
+      rem a3, t2, t3     # overflow -> 0
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.reg(10), 0xffffffffu);
+  EXPECT_EQ(m.cpu.reg(11), 5u);
+  EXPECT_EQ(m.cpu.reg(12), 0x80000000u);
+  EXPECT_EQ(m.cpu.reg(13), 0u);
+}
+
+TEST(Cpu, FunctionCallAndReturn) {
+  Machine m(R"(
+      li a0, 20
+      call double_it
+      call double_it
+      ecall
+    double_it:
+      add a0, a0, a0
+      ret
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.reg(10), 80u);
+}
+
+TEST(Cpu, Fibonacci) {
+  Machine m(R"(
+      li a0, 0
+      li a1, 1
+      li t0, 15     # iterations
+    fib:
+      add t1, a0, a1
+      mv a0, a1
+      mv a1, t1
+      addi t0, t0, -1
+      bnez t0, fib
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.reg(10), 610u);  // fib(15)
+  EXPECT_EQ(m.cpu.reg(11), 987u);  // fib(16)
+}
+
+TEST(Cpu, BubbleSortInMemory) {
+  // Sorts eight words in RAM — exercises nested loops, loads/stores with
+  // computed addresses, and register pressure.
+  Machine m(R"(
+      li s0, 0x1000       # array base
+      # store 8 unsorted values
+      li t0, 42
+      sw t0, 0(s0)
+      li t0, 7
+      sw t0, 4(s0)
+      li t0, 99
+      sw t0, 8(s0)
+      li t0, 1
+      sw t0, 12(s0)
+      li t0, 63
+      sw t0, 16(s0)
+      li t0, 21
+      sw t0, 20(s0)
+      li t0, 88
+      sw t0, 24(s0)
+      li t0, 3
+      sw t0, 28(s0)
+      li s1, 8            # n
+    outer:
+      li t1, 0            # i
+      li t6, 0            # swapped flag
+    inner:
+      slli t2, t1, 2
+      add t2, t2, s0
+      lw t3, 0(t2)
+      lw t4, 4(t2)
+      bge t4, t3, no_swap
+      sw t4, 0(t2)
+      sw t3, 4(t2)
+      li t6, 1
+    no_swap:
+      addi t1, t1, 1
+      addi t5, s1, -1
+      blt t1, t5, inner
+      bnez t6, outer
+      lw a0, 0(s0)        # min
+      lw a1, 28(s0)       # max
+      ecall
+  )");
+  m.cpu.run(100000);
+  EXPECT_EQ(m.cpu.halt_reason(), HaltReason::kEcall);
+  EXPECT_EQ(m.cpu.reg(10), 1u);
+  EXPECT_EQ(m.cpu.reg(11), 99u);
+  // Whole array sorted ascending.
+  std::uint32_t prev = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint32_t v = m.ram.load(0x1000 + 4 * static_cast<std::uint32_t>(i), 4);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Cpu, ConsoleMmio) {
+  Machine m(R"(
+      li t0, 0x10000000
+      li t1, 72      # 'H'
+      sb t1, 0(t0)
+      li t1, 105     # 'i'
+      sb t1, 0(t0)
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.console.output(), "Hi");
+}
+
+TEST(Cpu, X0IsHardwiredZero) {
+  Machine m(R"(
+      addi zero, zero, 42
+      mv a0, zero
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.reg(0), 0u);
+  EXPECT_EQ(m.cpu.reg(10), 0u);
+}
+
+TEST(Cpu, BadInstructionHalts) {
+  Machine m("ecall");
+  m.ram.store(0, 4, 0xffffffffu);  // overwrite with garbage
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.halt_reason(), HaltReason::kBadInstruction);
+}
+
+TEST(Cpu, MaxStepsGuard) {
+  Machine m(R"(
+    spin:
+      j spin
+  )");
+  const auto steps = m.cpu.run(1000);
+  EXPECT_EQ(steps, 1000u);
+  EXPECT_EQ(m.cpu.halt_reason(), HaltReason::kMaxSteps);
+}
+
+TEST(Cpu, EbreakHalts) {
+  Machine m("ebreak");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.halt_reason(), HaltReason::kEbreak);
+}
+
+TEST(Bus, UnmappedAccessThrows) {
+  Bus bus;
+  Ram ram{64};
+  bus.map(0, 64, &ram);
+  EXPECT_THROW(bus.load(100, 4), std::out_of_range);
+  EXPECT_THROW(bus.map(32, 64, &ram), std::invalid_argument);  // overlap
+}
+
+TEST(RvAsm, ReportsErrors) {
+  auto expect_err = [](const std::string& src) {
+    const auto r = assemble_rv32(src);
+    EXPECT_TRUE(std::holds_alternative<RvAsmError>(r)) << src;
+  };
+  expect_err("bogus a0, a1");
+  expect_err("addi a0, a1");          // missing operand
+  expect_err("addi a0, a1, 5000");    // imm out of range
+  expect_err("beq a0, a1, nowhere");  // unknown label
+  expect_err("dup: dup: nop");        // duplicate label
+  expect_err("lw a0, a1");            // bad memory operand
+}
+
+}  // namespace
+}  // namespace hhpim::riscv

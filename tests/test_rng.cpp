@@ -1,0 +1,88 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hhpim {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a{42};
+  SplitMix64 b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng{7};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextInIsInclusive) {
+  Rng rng{99};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{5};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng{17};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+class RngRangeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngRangeTest, NoModuloBias) {
+  // With rejection sampling, each residue class should be hit approximately
+  // uniformly even for awkward bounds.
+  const std::uint64_t bound = GetParam();
+  Rng rng{bound};
+  std::vector<int> counts(bound, 0);
+  const int n = 3000 * static_cast<int>(bound);
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(bound)];
+  const double expect = static_cast<double>(n) / static_cast<double>(bound);
+  for (const int c : counts) EXPECT_NEAR(c, expect, expect * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngRangeTest, ::testing::Values(2, 3, 5, 7, 11));
+
+}  // namespace
+}  // namespace hhpim

@@ -1,0 +1,115 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+
+namespace hhpim::sim {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance
+}
+
+TEST(Summary, EmptyIsZero) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MergeEqualsCombinedStream) {
+  Summary a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i * 0.37;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(5.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Histogram, BinsAndRanges) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[9], 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(0.25, 10);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.bins()[0], 10u);
+}
+
+TEST(Histogram, QuantileLinearInterpolation) {
+  Histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  const std::string s = h.render();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+TEST(Tracer, DisabledDropsRecords) {
+  Tracer t;
+  t.record(Time::zero(), "a", "b");
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Tracer, CapturesAndCounts) {
+  Tracer t;
+  t.enable(true);
+  t.record(Time::ns(1), "pim0", "LOAD burst=4");
+  t.record(Time::ns(2), "pim0", "EXECUTE");
+  t.record(Time::ns(3), "pim1", "LOAD burst=2");
+  EXPECT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.count_matching("LOAD"), 2u);
+  EXPECT_NE(t.dump().find("pim1"), std::string::npos);
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+}
+
+}  // namespace
+}  // namespace hhpim::sim

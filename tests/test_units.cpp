@@ -1,0 +1,84 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhpim {
+namespace {
+
+using namespace hhpim::literals;
+
+TEST(Time, ConstructionAndConversion) {
+  EXPECT_EQ(Time::ns(1.0).as_ps(), 1000);
+  EXPECT_EQ(Time::us(1.0).as_ps(), 1'000'000);
+  EXPECT_EQ(Time::ms(1.0).as_ps(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(Time::ps(2500).as_ns(), 2.5);
+  EXPECT_DOUBLE_EQ(Time::ms(3.0).as_s(), 0.003);
+}
+
+TEST(Time, TableIIILatenciesAreExactInPicoseconds) {
+  // Every latency in the paper's Table III is a multiple of 10 ps, so the
+  // integer representation is exact.
+  EXPECT_EQ(Time::ns(2.62).as_ps(), 2620);
+  EXPECT_EQ(Time::ns(11.81).as_ps(), 11810);
+  EXPECT_EQ(Time::ns(1.12).as_ps(), 1120);
+  EXPECT_EQ(Time::ns(5.52).as_ps(), 5520);
+  EXPECT_EQ(Time::ns(14.65).as_ps(), 14650);
+  EXPECT_EQ(Time::ns(10.68).as_ps(), 10680);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = 10_ns;
+  const Time b = Time::ns(2.5);
+  EXPECT_EQ((a + b).as_ps(), 12500);
+  EXPECT_EQ((a - b).as_ps(), 7500);
+  EXPECT_EQ((a * 3).as_ps(), 30000);
+  EXPECT_EQ((3 * a).as_ps(), 30000);
+  EXPECT_EQ((a / 4).as_ps(), 2500);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_EQ((a * 0.5).as_ps(), 5000);
+}
+
+TEST(Time, Comparison) {
+  EXPECT_LT(1_ns, 2_ns);
+  EXPECT_EQ(Time::zero(), 0_ps);
+  EXPECT_GT(Time::max(), Time::ms(1e6));
+}
+
+TEST(Energy, Arithmetic) {
+  Energy e = Energy::nj(1.0);
+  EXPECT_DOUBLE_EQ(e.as_pj(), 1000.0);
+  e += Energy::pj(500);
+  EXPECT_DOUBLE_EQ(e.as_nj(), 1.5);
+  EXPECT_DOUBLE_EQ((e * 2.0).as_nj(), 3.0);
+  EXPECT_DOUBLE_EQ((e / 3.0).as_pj(), 500.0);
+  EXPECT_DOUBLE_EQ(Energy::mj(1.0).as_uj(), 1000.0);
+}
+
+TEST(PowerTimesTime, IsExactlyPicojoules) {
+  // 1 mW * 1 ns = 1 pJ: the core accounting identity.
+  EXPECT_DOUBLE_EQ((Power::mw(1.0) * Time::ns(1.0)).as_pj(), 1.0);
+  // Table V spot check: HP-MRAM read burns 428.48 mW for 2.62 ns.
+  const Energy read = Power::mw(428.48) * Time::ns(2.62);
+  EXPECT_NEAR(read.as_pj(), 1122.6, 0.1);
+}
+
+TEST(EnergyOverTime, YieldsAveragePower) {
+  const Power p = Energy::pj(2000) / Time::ns(4.0);
+  EXPECT_DOUBLE_EQ(p.as_mw(), 500.0);
+  EXPECT_DOUBLE_EQ((Energy::pj(1) / Time::zero()).as_mw(), 0.0);
+}
+
+TEST(Frequency, PeriodConversion) {
+  EXPECT_EQ(Frequency::mhz(50.0).period().as_ps(), 20000);
+  EXPECT_EQ(Frequency::ghz(1.0).period().as_ps(), 1000);
+}
+
+TEST(Formatting, HumanReadable) {
+  EXPECT_EQ(Time::ns(42.0).to_string(), "42.000 ns");
+  EXPECT_EQ(Time::ms(1.5).to_string(), "1.500 ms");
+  EXPECT_EQ(Energy::mj(1.234).to_string(), "1.234 mJ");
+  EXPECT_EQ(Power::mw(23.29).to_string(), "23.290 mW");
+}
+
+}  // namespace
+}  // namespace hhpim

@@ -1,0 +1,129 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/task.hpp"
+
+namespace hhpim::workload {
+namespace {
+
+TEST(Scenario, Case1LowConstant) {
+  const auto loads = generate(Scenario::kLowConstant, {});
+  EXPECT_EQ(loads.size(), 50u);
+  for (const int l : loads) EXPECT_EQ(l, 2);
+}
+
+TEST(Scenario, Case2HighConstant) {
+  const auto loads = generate(Scenario::kHighConstant, {});
+  for (const int l : loads) EXPECT_EQ(l, 10);
+}
+
+TEST(Scenario, Case3PeriodicSpikes) {
+  const auto loads = generate(Scenario::kPeriodicSpike, {});
+  int spikes = 0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (i % 10 == 0) {
+      EXPECT_EQ(loads[i], 10) << i;
+      ++spikes;
+    } else {
+      EXPECT_EQ(loads[i], 2) << i;
+    }
+  }
+  EXPECT_EQ(spikes, 5);
+}
+
+TEST(Scenario, Case4FrequentSpikes) {
+  const auto loads = generate(Scenario::kPeriodicSpikeFrequent, {});
+  int spikes = 0;
+  for (const int l : loads) spikes += l == 10 ? 1 : 0;
+  EXPECT_EQ(spikes, 13);  // every 4th of 50 slices
+}
+
+TEST(Scenario, Case5PulsingAlternates) {
+  const auto loads = generate(Scenario::kPulsing, {});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const bool high = (i / 5) % 2 == 0;
+    EXPECT_EQ(loads[i], high ? 10 : 2) << i;
+  }
+}
+
+TEST(Scenario, Case6RandomDeterministicAndInRange) {
+  const auto a = generate(Scenario::kRandom, {});
+  const auto b = generate(Scenario::kRandom, {});
+  EXPECT_EQ(a, b);  // same seed, same trace
+  ScenarioConfig other;
+  other.seed = 999;
+  const auto c = generate(Scenario::kRandom, other);
+  EXPECT_NE(a, c);
+  bool varied = false;
+  for (const int l : a) {
+    EXPECT_GE(l, 2);
+    EXPECT_LE(l, 10);
+    if (l != a[0]) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Scenario, ConfigValidation) {
+  ScenarioConfig bad;
+  bad.slices = 0;
+  EXPECT_THROW(generate(Scenario::kLowConstant, bad), std::invalid_argument);
+  bad.slices = 10;
+  bad.low = 5;
+  bad.high = 2;
+  EXPECT_THROW(generate(Scenario::kLowConstant, bad), std::invalid_argument);
+}
+
+TEST(Scenario, NamesAndEnumeration) {
+  EXPECT_STREQ(case_name(Scenario::kLowConstant), "Case 1");
+  EXPECT_STREQ(case_name(Scenario::kRandom), "Case 6");
+  EXPECT_STREQ(to_string(Scenario::kPulsing), "high-low-pulsing");
+  EXPECT_EQ(all_scenarios().size(), 6u);
+}
+
+TEST(Scenario, SparklineLengthMatches) {
+  const auto loads = generate(Scenario::kPulsing, {});
+  EXPECT_EQ(sparkline(loads, 10).size(), loads.size());
+}
+
+TEST(TaskBuffer, FifoOrder) {
+  TaskBuffer buf;
+  TaskFactory factory{1000, 200};
+  factory.emit(buf, 0, 3);
+  EXPECT_EQ(buf.size(), 3u);
+  const auto first = buf.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 0u);
+  EXPECT_EQ(first->pim_macs, 1000u);
+  EXPECT_EQ(first->core_ops, 200u);
+  const auto second = buf.pop();
+  EXPECT_EQ(second->id, 1u);
+}
+
+TEST(TaskBuffer, DrainEmptiesAll) {
+  TaskBuffer buf;
+  TaskFactory factory{10, 1};
+  factory.emit(buf, 3, 5);
+  const auto all = buf.drain();
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(all[4].arrival_slice, 3);
+  EXPECT_EQ(buf.total_enqueued(), 5u);
+}
+
+TEST(TaskBuffer, PopOnEmpty) {
+  TaskBuffer buf;
+  EXPECT_FALSE(buf.pop().has_value());
+}
+
+TEST(TaskFactory, IdsAreGloballyUnique) {
+  TaskBuffer a, b;
+  TaskFactory factory{1, 1};
+  factory.emit(a, 0, 2);
+  factory.emit(b, 1, 2);
+  EXPECT_EQ(factory.issued(), 4u);
+  EXPECT_EQ(b.pop()->id, 2u);
+}
+
+}  // namespace
+}  // namespace hhpim::workload
