@@ -1,0 +1,71 @@
+# Resolve a GoogleTest to link the test suites against, in order of preference:
+#
+#   1. HHPIM_FORCE_GTEST_SHIM=ON       -> bundled shim under third_party/minigtest
+#   2. installed GTest package          -> find_package(GTest)
+#   3. distro source tree               -> add_subdirectory(/usr/src/googletest)
+#   4. FetchContent download            -> probed first so an offline configure
+#                                          does not hard-fail
+#   5. bundled shim                     -> third_party/minigtest
+#
+# Every path ends with a usable `GTest::gtest_main` target. The shim (and the
+# offline probe in step 4) exist so the tier-1 verify works on machines with no
+# network and no gtest install.
+
+set(HHPIM_GTEST_PROVIDER "" CACHE INTERNAL "Which GoogleTest provider was selected")
+
+function(_hhpim_use_shim)
+  add_subdirectory(${CMAKE_SOURCE_DIR}/third_party/minigtest
+                   ${CMAKE_BINARY_DIR}/third_party/minigtest)
+  set(HHPIM_GTEST_PROVIDER "bundled-shim" CACHE INTERNAL "")
+endfunction()
+
+if(HHPIM_FORCE_GTEST_SHIM)
+  _hhpim_use_shim()
+else()
+  find_package(GTest QUIET)
+  if(TARGET GTest::gtest_main)
+    set(HHPIM_GTEST_PROVIDER "find_package" CACHE INTERNAL "")
+  elseif(EXISTS /usr/src/googletest/CMakeLists.txt)
+    # Debian/Ubuntu libgtest-dev ships sources only; build them in-tree.
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    add_subdirectory(/usr/src/googletest ${CMAKE_BINARY_DIR}/third_party/googletest
+                     EXCLUDE_FROM_ALL)
+    set(HHPIM_GTEST_PROVIDER "system-source" CACHE INTERNAL "")
+  else()
+    # Probe the download non-fatally before handing the URL to FetchContent;
+    # a plain FetchContent_MakeAvailable aborts the configure when offline.
+    set(_gtest_url
+        https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz)
+    set(_gtest_tarball ${CMAKE_BINARY_DIR}/third_party/googletest-src.tar.gz)
+    if(NOT EXISTS ${_gtest_tarball})
+      file(DOWNLOAD ${_gtest_url} ${_gtest_tarball}
+           TIMEOUT 30 STATUS _gtest_dl INACTIVITY_TIMEOUT 15)
+      list(GET _gtest_dl 0 _gtest_dl_code)
+      if(NOT _gtest_dl_code EQUAL 0)
+        file(REMOVE ${_gtest_tarball})
+      endif()
+    endif()
+    if(EXISTS ${_gtest_tarball})
+      include(FetchContent)
+      set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+      set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+      FetchContent_Declare(googletest URL ${_gtest_tarball})
+      FetchContent_MakeAvailable(googletest)
+      set(HHPIM_GTEST_PROVIDER "fetchcontent" CACHE INTERNAL "")
+    else()
+      message(STATUS "GoogleTest: no install, no /usr/src/googletest, download failed "
+                     "-> using bundled minimal shim")
+      _hhpim_use_shim()
+    endif()
+  endif()
+endif()
+
+# The source-tree / FetchContent paths define plain `gtest_main`; normalise to
+# the namespaced target the tests link against.
+if(NOT TARGET GTest::gtest_main AND TARGET gtest_main)
+  add_library(GTest::gtest_main ALIAS gtest_main)
+  add_library(GTest::gtest ALIAS gtest)
+endif()
+
+message(STATUS "GoogleTest provider: ${HHPIM_GTEST_PROVIDER}")

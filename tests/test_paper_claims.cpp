@@ -33,20 +33,35 @@ class PaperClaims : public ::testing::Test {
     return p;
   }
 
+  static ArchConfig arch_of(ArchKind kind) {
+    switch (kind) {
+      case ArchKind::kBaseline: return ArchConfig::baseline();
+      case ArchKind::kHetero: return ArchConfig::hetero();
+      case ArchKind::kHybrid: return ArchConfig::hybrid();
+      case ArchKind::kHhpim: return ArchConfig::hhpim();
+    }
+    return ArchConfig::hhpim();
+  }
+
   static Energy scenario_energy(ArchKind kind, Scenario scenario, int slices = 12) {
     const nn::Model model = nn::zoo::efficientnet_b0();
     const Time slice = hhpim().slice_length();
-    ArchConfig arch;
-    switch (kind) {
-      case ArchKind::kBaseline: arch = ArchConfig::baseline(); break;
-      case ArchKind::kHetero: arch = ArchConfig::hetero(); break;
-      case ArchKind::kHybrid: arch = ArchConfig::hybrid(); break;
-      case ArchKind::kHhpim: arch = ArchConfig::hhpim(); break;
-    }
     workload::ScenarioConfig wc;
     wc.slices = slices;
     const auto loads = workload::generate(scenario, wc);
-    return run_cell(cfg(arch, slice), model, loads).energy;
+    return run_cell(cfg(arch_of(kind), slice), model, loads).energy;
+  }
+
+  /// Average power over a whole scenario run: total energy / total wall time.
+  static double average_power_mw(ArchKind kind, Scenario scenario, int slices = 12) {
+    const nn::Model model = nn::zoo::efficientnet_b0();
+    const Time slice = hhpim().slice_length();
+    workload::ScenarioConfig wc;
+    wc.slices = slices;
+    const auto loads = workload::generate(scenario, wc);
+    Processor p{cfg(arch_of(kind), slice), model};
+    const RunStats run = p.run_scenario(loads);
+    return (run.total_energy / run.total_time).as_mw();
   }
 };
 
@@ -179,6 +194,32 @@ TEST_F(PaperClaims, DynamicScenariosAllSave) {
         << workload::case_name(s);
     EXPECT_GT(energy_saving_percent(hh, scenario_energy(ArchKind::kHybrid, s)), 10.0)
         << workload::case_name(s);
+  }
+}
+
+// Table VI reports HH-PIM *average power* savings against the homogeneous
+// baselines (Baseline-PIM: all-HP modules with SRAM only; Hybrid-PIM: all-HP
+// modules with MRAM+SRAM). Our simulator reproduces the direction, not the
+// authors' absolute FPGA numbers, so the checked range is the paper's
+// headline window (Case 1 vs Baseline: 86.23 %) widened by a named slack.
+constexpr double kAvgPowerSavingsSlackPercent = 15.0;
+constexpr double kPaperPeakSavingsPercent = 86.23;
+
+TEST_F(PaperClaims, TableViAveragePowerSavingsInRange) {
+  for (const Scenario s : {Scenario::kLowConstant, Scenario::kHighConstant,
+                           Scenario::kPeriodicSpike, Scenario::kPulsing}) {
+    const double hh = average_power_mw(ArchKind::kHhpim, s);
+    for (const ArchKind ref_kind : {ArchKind::kBaseline, ArchKind::kHybrid}) {
+      const double ref = average_power_mw(ref_kind, s);
+      const double savings = (1.0 - hh / ref) * 100.0;
+      // Direction: HH-PIM draws no more average power than the homogeneous
+      // baseline — the savings are strictly positive...
+      EXPECT_GT(savings, 0.0)
+          << workload::case_name(s) << " vs " << to_string(ref_kind);
+      // ...and bounded by the paper's best reported saving plus slack.
+      EXPECT_LT(savings, kPaperPeakSavingsPercent + kAvgPowerSavingsSlackPercent)
+          << workload::case_name(s) << " vs " << to_string(ref_kind);
+    }
   }
 }
 

@@ -1,0 +1,164 @@
+// Dedicated suite for src/hhpim/scheduler.{hpp,cpp}: the per-slice placement
+// decision. Complements test_policy.cpp (which exercises the paper-shaped
+// configuration) with the scheduler's mode spectrum — performance-first under
+// tight constraints, LUT-optimal in between, low-power-first when relaxed or
+// idle — and with capacity-safety under a deliberately small cluster shape.
+#include "hhpim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hhpim/arch_config.hpp"
+#include "placement/cost_model.hpp"
+#include "placement/lut.hpp"
+
+namespace hhpim::sys {
+namespace {
+
+using energy::PowerSpec;
+using placement::Allocation;
+using placement::AllocationLut;
+using placement::CostModel;
+using placement::LutParams;
+using placement::Space;
+
+// Small clusters (2 modules x 4096 weights per space => 8192 per space) so
+// the 12000-weight working set actually presses against per-space capacity.
+CostModel tight_model(double uses = 29.0) {
+  return CostModel::build(PowerSpec::paper_45nm(),
+                          placement::ClusterShape{2, 4096, 4096},
+                          placement::ClusterShape{2, 4096, 4096}, uses);
+}
+
+constexpr std::uint64_t kTotalWeights = 12000;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : model(tight_model()) {
+    LutParams p;
+    p.slice = Time::ms(12.0);
+    p.total_weights = kTotalWeights;
+    p.t_entries = 32;
+    p.k_blocks = 32;
+    policy = std::make_unique<DynamicLutPolicy>(AllocationLut::build(model, p), model);
+  }
+
+  CostModel model;
+  std::unique_ptr<DynamicLutPolicy> policy;
+};
+
+TEST_F(SchedulerTest, PeakAllocationMatchesBalancedSplit) {
+  // The scheduler's performance-mode placement is exactly the latency-
+  // balanced HP-SRAM/LP-SRAM split.
+  const Allocation peak = policy->peak_allocation();
+  EXPECT_EQ(peak, balanced_sram_split(model, kTotalWeights));
+  EXPECT_EQ(peak.total(), kTotalWeights);
+  EXPECT_EQ(peak[Space::kHpMram] + peak[Space::kLpMram], 0u);
+}
+
+TEST_F(SchedulerTest, TightConstraintSelectsPerformanceMode) {
+  // Max load: the budget per task is at (or below) the LUT's peak boundary,
+  // so the decision must be SRAM-heavy and meet the constraint if feasible.
+  const auto d = policy->decide(policy->initial(), 10);
+  const std::uint64_t sram = d.alloc[Space::kHpSram] + d.alloc[Space::kLpSram];
+  EXPECT_GT(sram, d.alloc.total() / 2);
+  if (d.feasible) {
+    EXPECT_LE(placement::task_time(model, d.alloc), d.t_constraint);
+  }
+}
+
+TEST_F(SchedulerTest, RelaxedConstraintSelectsLowPowerMode) {
+  // One task per 12 ms slice: the optimizer leans on MRAM/LP storage, and
+  // predicted task energy is below the peak placement's for the same window.
+  const auto d = policy->decide(policy->initial(), 1);
+  const std::uint64_t frugal = d.alloc[Space::kHpMram] + d.alloc[Space::kLpMram] +
+                               d.alloc[Space::kLpSram];
+  EXPECT_GT(frugal, d.alloc.total() / 2);
+  const Energy chosen = placement::task_energy(model, d.alloc, d.t_constraint);
+  const Energy at_peak =
+      placement::task_energy(model, policy->peak_allocation(), d.t_constraint);
+  EXPECT_LE(chosen.as_pj(), at_peak.as_pj());
+}
+
+TEST_F(SchedulerTest, IdleSelectsParkingMode) {
+  const auto d = policy->decide(policy->peak_allocation(), 0);
+  EXPECT_EQ(d.alloc, policy->lut().entries().back().alloc);
+  EXPECT_EQ(d.t_constraint, policy->lut().slice());
+}
+
+TEST_F(SchedulerTest, EveryDecisionRespectsClusterCapacity) {
+  // Sweep load levels from several starting placements; no decision may
+  // overfill any space or lose weights.
+  Allocation mram_heavy;
+  mram_heavy[Space::kHpMram] = 6000;
+  mram_heavy[Space::kLpMram] = 6000;
+  const Allocation starts[] = {policy->initial(), policy->peak_allocation(),
+                               mram_heavy};
+  for (const auto& start : starts) {
+    for (const int n : {0, 1, 2, 3, 5, 8, 10, 16}) {
+      const auto d = policy->decide(start, n);
+      EXPECT_TRUE(placement::fits(model, d.alloc))
+          << "n=" << n << " alloc=" << d.alloc.to_string();
+      EXPECT_EQ(d.alloc.total(), kTotalWeights) << "n=" << n;
+    }
+  }
+}
+
+TEST_F(SchedulerTest, SteadyLoadConvergesToMovementFreeFixedPoint) {
+  // Under constant load the decisions must settle: each slice's movement
+  // budget depends on the previous placement, but within a few slices the
+  // chosen allocation stops changing, and at the fixed point no movement is
+  // planned and the full slice budget is available per task.
+  Allocation current = policy->initial();
+  SliceDecision d;
+  bool settled = false;
+  for (int slice = 0; slice < 6; ++slice) {
+    d = policy->decide(current, 4);
+    if (d.alloc == current) {
+      settled = true;
+      break;
+    }
+    current = d.alloc;
+  }
+  ASSERT_TRUE(settled) << "decisions still oscillating after 6 slices";
+  EXPECT_EQ(d.plan.total(), 0u);
+  EXPECT_EQ(d.movement_time, Time::zero());
+  EXPECT_EQ(d.t_constraint, policy->lut().slice() / 4);
+}
+
+TEST_F(SchedulerTest, OverloadReportsInfeasibleButStaysLegal) {
+  // Demand far beyond peak throughput: the scheduler must flag infeasibility
+  // yet still hand back a capacity-legal, performance-mode placement.
+  const auto d = policy->decide(policy->initial(), 100000);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_TRUE(placement::fits(model, d.alloc));
+  EXPECT_EQ(d.alloc.total(), kTotalWeights);
+  const std::uint64_t sram = d.alloc[Space::kHpSram] + d.alloc[Space::kLpSram];
+  EXPECT_GT(sram, d.alloc.total() / 2);
+}
+
+TEST(StaticScheduler, CapacityAndConstantPlacement) {
+  const CostModel m = tight_model();
+  const Allocation fixed = balanced_sram_split(m, kTotalWeights);
+  StaticPolicy policy{fixed, Time::ms(10.0)};
+  for (const int n : {0, 1, 5, 10}) {
+    const auto d = policy.decide(policy.initial(), n);
+    EXPECT_EQ(d.alloc, fixed);
+    EXPECT_TRUE(placement::fits(m, d.alloc));
+    EXPECT_EQ(d.t_constraint, n > 0 ? Time::ms(10.0) / n : Time::ms(10.0));
+  }
+}
+
+TEST(BalancedSplitCapacity, StaysWithinSpaceCapacityNearFull) {
+  // Splitting a working set close to the combined SRAM capacity must not
+  // assign more to HP-SRAM than it can hold.
+  const CostModel m = tight_model();
+  const std::uint64_t hp_cap = m.at(Space::kHpSram).capacity_weights;
+  const Allocation a = balanced_sram_split(m, kTotalWeights);
+  EXPECT_LE(a[Space::kHpSram], hp_cap);
+  EXPECT_EQ(a.total(), kTotalWeights);
+}
+
+}  // namespace
+}  // namespace hhpim::sys

@@ -1,0 +1,362 @@
+// Minimal GoogleTest-compatible shim.
+//
+// Fallback used only when no real GoogleTest is available (no installed
+// package, no /usr/src/googletest, no network for FetchContent) — see
+// cmake/GTestSetup.cmake. It implements exactly the API surface the suites in
+// tests/ use: TEST / TEST_F / TEST_P + INSTANTIATE_TEST_SUITE_P with
+// Range/Values/Combine, the EXPECT_* / ASSERT_* families below, and
+// GTEST_SKIP. It is not a general gtest replacement.
+#ifndef MINIGTEST_GTEST_H_
+#define MINIGTEST_GTEST_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+namespace testing {
+
+namespace internal {
+
+// Thrown by failed ASSERT_* to abort the current TestBody.
+struct FatalFailure {};
+
+void ReportFailure(const char* file, int line, const std::string& message);
+void MarkSkipped(const std::string& message);
+
+// Destructor-reporting failure sink so `EXPECT_EQ(a, b) << "context"` works.
+class Failure {
+ public:
+  Failure(const char* file, int line, bool fatal)
+      : file_(file), line_(line), fatal_(fatal) {}
+  Failure(const Failure&) = delete;
+  Failure& operator=(const Failure&) = delete;
+  ~Failure() noexcept(false) {
+    ReportFailure(file_, line_, stream_.str());
+    if (fatal_ && std::uncaught_exceptions() == 0) throw FatalFailure{};
+  }
+  template <typename T>
+  Failure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+// Message buffer for GTEST_SKIP() << "...".
+class SkipMessage {
+ public:
+  template <typename T>
+  SkipMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// `return SkipAssigner() = SkipMessage() << "why"` — operator= returns void so
+// the whole expression is a valid operand of `return` in a void TestBody.
+struct SkipAssigner {
+  void operator=(const SkipMessage& m) const { MarkSkipped(m.str()); }
+};
+
+template <typename A, typename B>
+bool CmpEQ(const A& a, const B& b) { return a == b; }
+template <typename A, typename B>
+bool CmpNE(const A& a, const B& b) { return a != b; }
+template <typename A, typename B>
+bool CmpLT(const A& a, const B& b) { return a < b; }
+template <typename A, typename B>
+bool CmpLE(const A& a, const B& b) { return a <= b; }
+template <typename A, typename B>
+bool CmpGT(const A& a, const B& b) { return a > b; }
+template <typename A, typename B>
+bool CmpGE(const A& a, const B& b) { return a >= b; }
+
+inline bool CmpStrEQ(const char* a, const char* b) {
+  if (a == nullptr || b == nullptr) return a == b;
+  return std::strcmp(a, b) == 0;
+}
+
+// 4-ULP floating point comparison, matching gtest's FloatingPoint<>.
+inline std::uint64_t BiasedRepr(std::uint64_t sign_magnitude) {
+  constexpr std::uint64_t kSign = 0x8000000000000000ull;
+  return (sign_magnitude & kSign) ? ~sign_magnitude + 1
+                                  : sign_magnitude | kSign;
+}
+inline bool AlmostEqual(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof(a));
+  std::memcpy(&ub, &b, sizeof(b));
+  const std::uint64_t ba = BiasedRepr(ua), bb = BiasedRepr(ub);
+  return (ba >= bb ? ba - bb : bb - ba) <= 4;
+}
+inline std::uint32_t BiasedRepr32(std::uint32_t sign_magnitude) {
+  constexpr std::uint32_t kSign = 0x80000000u;
+  return (sign_magnitude & kSign) ? ~sign_magnitude + 1
+                                  : sign_magnitude | kSign;
+}
+inline bool AlmostEqual(float a, float b) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  std::uint32_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof(a));
+  std::memcpy(&ub, &b, sizeof(b));
+  const std::uint32_t ba = BiasedRepr32(ua), bb = BiasedRepr32(ub);
+  return (ba >= bb ? ba - bb : bb - ba) <= 4;
+}
+
+}  // namespace internal
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  virtual void TestBody() = 0;
+
+ protected:
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+
+ private:
+  friend int RunAllTestsImpl();
+  void RunSetUp() { SetUp(); }
+  void RunTearDown() { TearDown(); }
+};
+
+template <typename T>
+class WithParamInterface {
+ public:
+  using ParamType = T;
+  virtual ~WithParamInterface() = default;
+  static const ParamType& GetParam() { return *CurrentParam(); }
+  static const ParamType*& CurrentParam() {
+    static const ParamType* current = nullptr;
+    return current;
+  }
+};
+
+template <typename T>
+class TestWithParam : public Test, public WithParamInterface<T> {};
+
+namespace internal {
+
+struct TestCase {
+  std::string suite;
+  std::string name;
+  std::function<Test*()> factory;
+  std::function<void()> bind_param;  // empty for non-parameterized tests
+};
+
+struct ParamPattern {
+  std::string fixture;
+  std::string name;
+  std::function<Test*()> factory;
+};
+
+std::vector<TestCase>& Registry();
+std::vector<ParamPattern>& ParamPatterns();
+std::vector<std::function<void()>>& Instantiations();
+
+int RegisterTest(const char* suite, const char* name,
+                 std::function<Test*()> factory);
+int RegisterParamPattern(const char* fixture, const char* name,
+                         std::function<Test*()> factory);
+
+template <typename T>
+struct ValueList {
+  std::vector<T> values;
+};
+
+// Instantiation is deferred to RUN_ALL_TESTS so TEST_P / INSTANTIATE order
+// within a translation unit does not matter.
+template <typename Fixture, typename GenT>
+int RegisterInstantiation(const char* prefix, const char* fixture_name,
+                          ValueList<GenT> gen) {
+  Instantiations().push_back([prefix, fixture_name, gen]() {
+    using Param = typename Fixture::ParamType;
+    auto values = std::make_shared<std::vector<Param>>();
+    values->reserve(gen.values.size());
+    for (const auto& v : gen.values) values->push_back(static_cast<Param>(v));
+    for (const auto& pattern : ParamPatterns()) {
+      if (pattern.fixture != fixture_name) continue;
+      for (std::size_t i = 0; i < values->size(); ++i) {
+        TestCase tc;
+        tc.suite = std::string(prefix) + "/" + fixture_name;
+        tc.name = pattern.name + "/" + std::to_string(i);
+        tc.factory = pattern.factory;
+        tc.bind_param = [values, i]() {
+          Fixture::CurrentParam() = &(*values)[i];
+        };
+        Registry().push_back(std::move(tc));
+      }
+    }
+  });
+  return 0;
+}
+
+}  // namespace internal
+
+template <typename T = long long>
+internal::ValueList<long long> Range(long long begin, long long end,
+                                     long long step = 1) {
+  internal::ValueList<long long> out;
+  for (long long v = begin; v < end; v += step) out.values.push_back(v);
+  return out;
+}
+
+template <typename... Ts>
+auto Values(Ts... vs) {
+  using T = std::common_type_t<Ts...>;
+  return internal::ValueList<T>{{static_cast<T>(vs)...}};
+}
+
+template <typename A, typename B>
+internal::ValueList<std::tuple<A, B>> Combine(const internal::ValueList<A>& a,
+                                              const internal::ValueList<B>& b) {
+  internal::ValueList<std::tuple<A, B>> out;
+  for (const auto& x : a.values)
+    for (const auto& y : b.values) out.values.emplace_back(x, y);
+  return out;
+}
+
+void InitGoogleTest(int* argc = nullptr, char** argv = nullptr);
+int RunAllTestsImpl();
+
+}  // namespace testing
+
+#define RUN_ALL_TESTS() ::testing::RunAllTestsImpl()
+
+#define GTEST_MINI_CLASS_(suite, name) suite##_##name##_Test
+
+#define GTEST_MINI_TEST_(suite, name, base, registrar)                     \
+  class GTEST_MINI_CLASS_(suite, name) : public base {                     \
+   public:                                                                 \
+    void TestBody() override;                                              \
+  };                                                                       \
+  static const int gtest_mini_reg_##suite##_##name =                       \
+      ::testing::internal::registrar(#suite, #name, []() -> ::testing::Test* { \
+        return new GTEST_MINI_CLASS_(suite, name);                         \
+      });                                                                  \
+  void GTEST_MINI_CLASS_(suite, name)::TestBody()
+
+#define TEST(suite, name) GTEST_MINI_TEST_(suite, name, ::testing::Test, RegisterTest)
+#define TEST_F(fixture, name) GTEST_MINI_TEST_(fixture, name, fixture, RegisterTest)
+#define TEST_P(fixture, name) GTEST_MINI_TEST_(fixture, name, fixture, RegisterParamPattern)
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, fixture, generator)             \
+  static const int gtest_mini_inst_##prefix##_##fixture =                \
+      ::testing::internal::RegisterInstantiation<fixture>(#prefix,       \
+                                                          #fixture, generator)
+
+// `switch` wrapper avoids dangling-else warnings, exactly as in gtest.
+#define GTEST_MINI_CHECK_(ok, fatal)                      \
+  switch (0)                                              \
+  case 0:                                                 \
+  default:                                                \
+    if (ok)                                               \
+      ;                                                   \
+    else                                                  \
+      ::testing::internal::Failure(__FILE__, __LINE__, fatal)
+
+#define GTEST_MINI_CMP_(cmp, opstr, a, b, fatal)                       \
+  GTEST_MINI_CHECK_(::testing::internal::cmp((a), (b)), fatal)         \
+      << "Expected: (" #a ") " opstr " (" #b "), which is false. "
+
+#define EXPECT_EQ(a, b) GTEST_MINI_CMP_(CmpEQ, "==", a, b, false)
+#define EXPECT_NE(a, b) GTEST_MINI_CMP_(CmpNE, "!=", a, b, false)
+#define EXPECT_LT(a, b) GTEST_MINI_CMP_(CmpLT, "<", a, b, false)
+#define EXPECT_LE(a, b) GTEST_MINI_CMP_(CmpLE, "<=", a, b, false)
+#define EXPECT_GT(a, b) GTEST_MINI_CMP_(CmpGT, ">", a, b, false)
+#define EXPECT_GE(a, b) GTEST_MINI_CMP_(CmpGE, ">=", a, b, false)
+#define ASSERT_EQ(a, b) GTEST_MINI_CMP_(CmpEQ, "==", a, b, true)
+#define ASSERT_NE(a, b) GTEST_MINI_CMP_(CmpNE, "!=", a, b, true)
+#define ASSERT_LT(a, b) GTEST_MINI_CMP_(CmpLT, "<", a, b, true)
+#define ASSERT_LE(a, b) GTEST_MINI_CMP_(CmpLE, "<=", a, b, true)
+#define ASSERT_GT(a, b) GTEST_MINI_CMP_(CmpGT, ">", a, b, true)
+#define ASSERT_GE(a, b) GTEST_MINI_CMP_(CmpGE, ">=", a, b, true)
+
+#define EXPECT_TRUE(cond)                                       \
+  GTEST_MINI_CHECK_(static_cast<bool>(cond), false)             \
+      << "Expected: " #cond " is true. "
+#define EXPECT_FALSE(cond)                                      \
+  GTEST_MINI_CHECK_(!static_cast<bool>(cond), false)            \
+      << "Expected: " #cond " is false. "
+#define ASSERT_TRUE(cond)                                       \
+  GTEST_MINI_CHECK_(static_cast<bool>(cond), true)              \
+      << "Expected: " #cond " is true. "
+#define ASSERT_FALSE(cond)                                      \
+  GTEST_MINI_CHECK_(!static_cast<bool>(cond), true)             \
+      << "Expected: " #cond " is false. "
+
+#define EXPECT_STREQ(a, b) GTEST_MINI_CMP_(CmpStrEQ, "streq", a, b, false)
+#define ASSERT_STREQ(a, b) GTEST_MINI_CMP_(CmpStrEQ, "streq", a, b, true)
+
+#define EXPECT_NEAR(a, b, tol)                                            \
+  GTEST_MINI_CHECK_(std::fabs(static_cast<double>(a) -                    \
+                              static_cast<double>(b)) <=                  \
+                        static_cast<double>(tol),                         \
+                    false)                                                \
+      << "Expected: |" #a " - " #b "| <= " #tol ", which is false. "
+#define EXPECT_DOUBLE_EQ(a, b)                                            \
+  GTEST_MINI_CHECK_(::testing::internal::AlmostEqual(                     \
+                        static_cast<double>(a), static_cast<double>(b)),  \
+                    false)                                                \
+      << "Expected: " #a " ~= " #b " (4 ULP), which is false. "
+#define EXPECT_FLOAT_EQ(a, b)                                             \
+  GTEST_MINI_CHECK_(::testing::internal::AlmostEqual(                     \
+                        static_cast<float>(a), static_cast<float>(b)),    \
+                    false)                                                \
+      << "Expected: " #a " ~= " #b " (4 ULP), which is false. "
+
+#define EXPECT_THROW(stmt, extype)                                        \
+  do {                                                                    \
+    bool gtest_mini_caught = false, gtest_mini_wrong = false;             \
+    try {                                                                 \
+      stmt;                                                               \
+    } catch (const ::testing::internal::FatalFailure&) {                  \
+      throw;                                                              \
+    } catch (const extype&) {                                             \
+      gtest_mini_caught = true;                                           \
+    } catch (...) {                                                       \
+      gtest_mini_wrong = true;                                            \
+    }                                                                     \
+    GTEST_MINI_CHECK_(gtest_mini_caught, false)                           \
+        << "Expected: " #stmt " throws " #extype ". "                     \
+        << (gtest_mini_wrong ? "It threw a different type."               \
+                             : "It threw nothing.");                      \
+  } while (0)
+
+#define EXPECT_NO_THROW(stmt)                                             \
+  do {                                                                    \
+    bool gtest_mini_threw = false;                                        \
+    try {                                                                 \
+      stmt;                                                               \
+    } catch (const ::testing::internal::FatalFailure&) {                  \
+      throw;                                                              \
+    } catch (...) {                                                       \
+      gtest_mini_threw = true;                                            \
+    }                                                                     \
+    GTEST_MINI_CHECK_(!gtest_mini_threw, false)                           \
+        << "Expected: " #stmt " does not throw, but it threw. ";          \
+  } while (0)
+
+#define GTEST_SKIP()                                           \
+  return ::testing::internal::SkipAssigner() =                 \
+             ::testing::internal::SkipMessage()
+
+#endif  // MINIGTEST_GTEST_H_

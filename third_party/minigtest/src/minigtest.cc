@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace testing {
+namespace internal {
+
+namespace {
+
+struct CurrentTestState {
+  bool failed = false;
+  bool skipped = false;
+};
+
+CurrentTestState& Current() {
+  static CurrentTestState state;
+  return state;
+}
+
+}  // namespace
+
+std::vector<TestCase>& Registry() {
+  static std::vector<TestCase> cases;
+  return cases;
+}
+
+std::vector<ParamPattern>& ParamPatterns() {
+  static std::vector<ParamPattern> patterns;
+  return patterns;
+}
+
+std::vector<std::function<void()>>& Instantiations() {
+  static std::vector<std::function<void()>> fns;
+  return fns;
+}
+
+int RegisterTest(const char* suite, const char* name,
+                 std::function<Test*()> factory) {
+  Registry().push_back(TestCase{suite, name, std::move(factory), {}});
+  return 0;
+}
+
+int RegisterParamPattern(const char* fixture, const char* name,
+                         std::function<Test*()> factory) {
+  ParamPatterns().push_back(ParamPattern{fixture, name, std::move(factory)});
+  return 0;
+}
+
+void ReportFailure(const char* file, int line, const std::string& message) {
+  Current().failed = true;
+  std::fprintf(stderr, "%s:%d: Failure\n%s\n", file, line, message.c_str());
+}
+
+void MarkSkipped(const std::string& message) {
+  Current().skipped = true;
+  if (!message.empty()) std::fprintf(stderr, "Skipped: %s\n", message.c_str());
+}
+
+}  // namespace internal
+
+void InitGoogleTest(int*, char**) {}
+
+int RunAllTestsImpl() {
+  using internal::Current;
+  for (const auto& instantiate : internal::Instantiations()) instantiate();
+
+  int failed = 0, skipped = 0;
+  const auto& cases = internal::Registry();
+  std::printf("[minigtest] running %zu tests\n", cases.size());
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (const auto& tc : cases) {
+    const std::string full = tc.suite + "." + tc.name;
+    std::printf("[ RUN      ] %s\n", full.c_str());
+    Current() = {};
+    if (tc.bind_param) tc.bind_param();
+    const auto run_phase = [](const char* phase, auto&& fn) {
+      try {
+        fn();
+      } catch (const internal::FatalFailure&) {
+        // Failure already recorded by the ASSERT_* that threw.
+      } catch (const std::exception& e) {
+        internal::ReportFailure(phase, 0,
+                                std::string("uncaught exception: ") + e.what());
+      } catch (...) {
+        internal::ReportFailure(phase, 0, "uncaught non-std exception");
+      }
+    };
+    std::unique_ptr<Test> test;
+    run_phase("<construct>", [&]() { test.reset(tc.factory()); });
+    if (test) {
+      run_phase("<SetUp/TestBody>", [&]() {
+        test->RunSetUp();
+        test->TestBody();
+      });
+      // Like real gtest: TearDown runs once SetUp has been invoked, even
+      // after a fatal SetUp failure.
+      run_phase("<TearDown>", [&]() { test->RunTearDown(); });
+    }
+    if (Current().skipped && !Current().failed) {
+      ++skipped;
+      std::printf("[  SKIPPED ] %s\n", full.c_str());
+    } else if (Current().failed) {
+      ++failed;
+      std::printf("[  FAILED  ] %s\n", full.c_str());
+    } else {
+      std::printf("[       OK ] %s\n", full.c_str());
+    }
+  }
+
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  std::printf("[minigtest] %zu tests, %d failed, %d skipped (%lld ms)\n",
+              cases.size(), failed, skipped, static_cast<long long>(ms));
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace testing
