@@ -1,12 +1,18 @@
 // Algorithm runtime scaling (google-benchmark): Algorithm 1 is O(n*T*K) and
 // Algorithm 2 is O(T*K) (paper §III-B). These benches verify the DP cell
 // throughput and the end-to-end LUT construction cost that the resolution
-// limiter reasons about.
+// limiter reasons about — plus the experiment runner's grid throughput as a
+// function of worker-thread count (BM_GridRunner).
 #include <benchmark/benchmark.h>
 
 #include "energy/power_spec.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
+#include "hhpim/arch_config.hpp"
+#include "nn/zoo.hpp"
 #include "placement/knapsack.hpp"
 #include "placement/lut.hpp"
+#include "workload/scenario.hpp"
 
 using namespace hhpim;
 using placement::AllocationLut;
@@ -61,6 +67,35 @@ void BM_LutBuild(benchmark::State& state) {
   }
 }
 
+// Grid throughput of the experiment runner: the paper's 4-architecture sweep
+// on one model and two scenarios (8 independent Processor runs), executed at
+// 1/2/4 worker threads. Wall-clock should drop with threads on multi-core
+// hosts while the results stay bit-identical (pinned by tests/test_exp.cpp).
+void BM_GridRunner(benchmark::State& state) {
+  exp::ExperimentSpec spec;
+  const auto table1 = sys::ArchConfig::paper_table1();
+  spec.archs.assign(table1.begin(), table1.end());
+  spec.models = {nn::zoo::efficientnet_b0()};
+  workload::ScenarioConfig wc;
+  wc.slices = 6;
+  spec.scenarios = {exp::ScenarioSpec::of(workload::Scenario::kPulsing, wc),
+                    exp::ScenarioSpec::of(workload::Scenario::kRandom, wc)};
+  sys::SystemConfig cfg;
+  cfg.lut_t_entries = 32;
+  cfg.lut_k_blocks = 32;
+  spec.variants.push_back({"", cfg});
+
+  exp::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  const exp::Runner runner{opts};
+  for (auto _ : state) {
+    const exp::ResultSet results = runner.run(spec);
+    benchmark::DoNotOptimize(results.runs().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(spec.run_count()));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Algorithm1)
@@ -73,5 +108,13 @@ BENCHMARK(BM_Algorithm1)
 BENCHMARK(BM_Algorithm2)->Arg(256)->Arg(1024)->Arg(4096);
 
 BENCHMARK(BM_LutBuild)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_GridRunner)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -1,6 +1,8 @@
 // Regenerates Fig. 5: energy savings of HH-PIM over Baseline-, Heterogeneous-
 // and Hybrid-PIM across the six benchmark scenarios and the three TinyML
 // models (50 time slices each, as in the paper).
+//
+// One 4 x 3 x 6 grid (72 runs) through the parallel experiment runner.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -13,8 +15,15 @@ int main() {
   std::printf("== Fig. 5: energy savings of HH-PIM over the comparison PIMs ==\n");
   std::printf("(50 time slices per scenario; ES%% = (1 - E_hh / E_ref) * 100)\n\n");
 
-  const auto models = nn::zoo::paper_models();
-  const workload::ScenarioConfig wc;  // 50 slices
+  exp::ExperimentSpec spec = bench_spec();
+  spec.name = "fig5";
+  spec.models = nn::zoo::paper_models();
+  for (const auto scenario : workload::all_scenarios()) {
+    exp::ScenarioSpec s = exp::ScenarioSpec::of(scenario);
+    s.explicit_loads = workload::generate(scenario, s.cfg);  // paper seed
+    spec.scenarios.push_back(std::move(s));
+  }
+  const exp::ResultSet results = exp::Runner{}.run(spec);
 
   Table t{{"Model", "Scenario", "vs Baseline (%)", "vs Hetero (%)", "vs Hybrid (%)",
            "HH deadline misses"}};
@@ -22,10 +31,10 @@ int main() {
   int cells = 0;
   double max_base = 0, max_het = 0, max_hyb = 0;
 
-  for (const auto& model : models) {
+  for (const auto& model : spec.models) {
     for (const auto scenario : workload::all_scenarios()) {
-      const auto loads = workload::generate(scenario, wc);
-      const ArchSweep sweep = run_arch_sweep(model, loads);
+      const ArchSweep sweep =
+          arch_sweep_of(results, model.name(), workload::to_string(scenario));
       const double vs_base = sys::energy_saving_percent(sweep.energy[3], sweep.energy[0]);
       const double vs_het = sys::energy_saving_percent(sweep.energy[3], sweep.energy[1]);
       const double vs_hyb = sys::energy_saving_percent(sweep.energy[3], sweep.energy[2]);

@@ -1,15 +1,30 @@
 // Regenerates Table I: developed specifications for HH-PIM and the
-// comparison PIM architectures.
+// comparison PIM architectures — plus measured columns from a short probe
+// grid (one low-constant scenario per architecture) through exp::Runner:
+// the shared slice length T each architecture must honour and its probe
+// energy under identical load.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "hhpim/arch_config.hpp"
 
 using namespace hhpim;
+using namespace hhpim::bench;
 
 int main() {
   std::printf("== Table I: PIM architecture specifications ==\n\n");
-  Table t{{"Architecture", "PIM Module Configuration", "Memory Types (per module)"}};
+
+  exp::ExperimentSpec spec = bench_spec();
+  spec.name = "table1-probe";
+  spec.models = {nn::zoo::efficientnet_b0()};
+  workload::ScenarioConfig wc;
+  wc.slices = 8;
+  spec.scenarios = {exp::ScenarioSpec::of(workload::Scenario::kLowConstant, wc)};
+  const exp::ResultSet probe = exp::Runner{}.run(spec);
+
+  Table t{{"Architecture", "PIM Module Configuration", "Memory Types (per module)",
+           "T (probe)", "energy (8-slice probe)"}};
   for (const auto& a : sys::ArchConfig::paper_table1()) {
     std::string modules;
     if (a.lp_modules == 0) {
@@ -25,9 +40,13 @@ int main() {
       memory = std::to_string(a.mram_kb_per_module) + "kB MRAM + " +
                std::to_string(a.sram_kb_per_module) + "kB SRAM";
     }
-    t.add_row({a.name, modules, memory});
+    const exp::RunResult& r =
+        probe.at(a.name, "EfficientNet-B0", "low-constant");
+    t.add_row({a.name, modules, memory, Time::ps(r.slice_ps).to_string(),
+               r.total_energy().to_string()});
   }
   std::printf("%s\n", t.render().c_str());
-  std::printf("Paper Table I: identical by construction (configs are data).\n");
+  std::printf("Paper Table I: identical by construction (configs are data); probe\n"
+              "columns are measured via exp::Runner on EfficientNet-B0, Case 1.\n");
   return 0;
 }

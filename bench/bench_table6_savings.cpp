@@ -1,5 +1,8 @@
 // Regenerates Table VI: energy savings (ES) by HH-PIM for the dynamic
 // scenarios, Cases 3-6 (averaged over the three TinyML models).
+//
+// The whole 4-arch x 3-model x 4-case grid is one ExperimentSpec executed by
+// the parallel runner; rows are then read back from the ResultSet.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -12,11 +15,20 @@ int main() {
   std::printf("== Table VI: energy savings (%%) by HH-PIM for Cases 3-6 ==\n");
   std::printf("(50 slices; averaged over EfficientNet-B0 / MobileNetV2 / ResNet-18)\n\n");
 
-  const auto models = nn::zoo::paper_models();
-  const workload::ScenarioConfig wc;
   const std::array<workload::Scenario, 4> cases = {
       workload::Scenario::kPeriodicSpike, workload::Scenario::kPeriodicSpikeFrequent,
       workload::Scenario::kPulsing, workload::Scenario::kRandom};
+
+  exp::ExperimentSpec spec = bench_spec();
+  spec.name = "table6";
+  spec.models = nn::zoo::paper_models();
+  for (const auto c : cases) {
+    exp::ScenarioSpec s = exp::ScenarioSpec::of(c);
+    s.explicit_loads = workload::generate(c, s.cfg);  // paper seed, not grid-derived
+    spec.scenarios.push_back(std::move(s));
+  }
+  const exp::ResultSet results = exp::Runner{}.run(spec);
+
   // Paper Table VI values for the same cells.
   const double paper[4][3] = {{72.01, 55.78, 54.09},
                               {61.46, 38.38, 47.60},
@@ -26,15 +38,15 @@ int main() {
   Table t{{"Case", "over Baseline-PIM", "over Hetero-PIM", "over H-PIM",
            "paper (B/He/Hy)"}};
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
-    const auto loads = workload::generate(cases[ci], wc);
     double base = 0, het = 0, hyb = 0;
-    for (const auto& model : models) {
-      const ArchSweep sweep = run_arch_sweep(model, loads);
+    for (const auto& model : spec.models) {
+      const ArchSweep sweep =
+          arch_sweep_of(results, model.name(), workload::to_string(cases[ci]));
       base += sys::energy_saving_percent(sweep.energy[3], sweep.energy[0]);
       het += sys::energy_saving_percent(sweep.energy[3], sweep.energy[1]);
       hyb += sys::energy_saving_percent(sweep.energy[3], sweep.energy[2]);
     }
-    const double n = static_cast<double>(models.size());
+    const double n = static_cast<double>(spec.models.size());
     char paper_cell[48];
     std::snprintf(paper_cell, sizeof paper_cell, "%.2f / %.2f / %.2f", paper[ci][0],
                   paper[ci][1], paper[ci][2]);

@@ -1,14 +1,16 @@
 // Compares the four Table-I architectures on one scenario across all three
 // TinyML models: total energy, energy breakdown, deadline behaviour.
+// The 4 x 3 grid is executed by the parallel experiment runner.
 //
-//   ./compare_architectures [--case=1..6] [--slices=20]
+//   ./compare_architectures [--case=1..6] [--slices=20] [--threads=N]
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
 #include "hhpim/metrics.hpp"
-#include "hhpim/processor.hpp"
 #include "nn/zoo.hpp"
 #include "workload/scenario.hpp"
 
@@ -27,43 +29,41 @@ int main(int argc, char** argv) {
               workload::to_string(scenario), wc.slices,
               workload::sparkline(loads, wc.high).c_str());
 
-  for (const auto& model : nn::zoo::paper_models()) {
-    sys::SystemConfig hh_cfg;
-    hh_cfg.arch = sys::ArchConfig::hhpim();
-    sys::Processor hh{hh_cfg, model};
-    const Time slice = hh.slice_length();
-    const auto hh_run = hh.run_scenario(loads);
+  exp::ExperimentSpec spec;
+  spec.name = "compare-architectures";
+  const auto table1 = sys::ArchConfig::paper_table1();
+  spec.archs.assign(table1.begin(), table1.end());
+  spec.models = nn::zoo::paper_models();
+  spec.scenarios = {exp::ScenarioSpec::fixed(workload::to_string(scenario), loads)};
+
+  exp::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const exp::ResultSet results = exp::Runner{opts}.run(spec);
+
+  for (const auto& model : spec.models) {
+    const exp::RunResult& hh =
+        results.at("HH-PIM", model.name(), workload::to_string(scenario));
 
     Table t{{"Architecture", "total energy", "dynamic", "leakage", "movement",
              "deadline misses", "HH-PIM saves"}};
-    auto add = [&](const std::string& name, const energy::EnergyLedger& ledger,
-                   const sys::RunStats& run) {
-      t.add_row({name, run.total_energy.to_string(),
-                 ledger.dynamic_total().to_string(),
-                 ledger.total(energy::Activity::kLeakage).to_string(),
-                 ledger.total(energy::Activity::kTransfer).to_string(),
-                 std::to_string(run.deadline_violations),
-                 name == "HH-PIM"
+    for (const auto& arch : table1) {
+      const exp::RunResult& r =
+          results.at(arch.name, model.name(), workload::to_string(scenario));
+      t.add_row({arch.name, r.total_energy().to_string(),
+                 Energy::pj(r.dynamic_energy_pj).to_string(),
+                 Energy::pj(r.leakage_energy_pj).to_string(),
+                 Energy::pj(r.transfer_energy_pj).to_string(),
+                 std::to_string(r.deadline_violations),
+                 arch.kind == sys::ArchKind::kHhpim
                      ? "-"
-                     : format_double(sys::energy_saving_percent(hh_run.total_energy,
-                                                                run.total_energy),
+                     : format_double(sys::energy_saving_percent(hh.total_energy(),
+                                                                r.total_energy()),
                                      2) +
                            " %"});
-    };
-
-    for (const auto& arch : {sys::ArchConfig::baseline(), sys::ArchConfig::hetero(),
-                             sys::ArchConfig::hybrid()}) {
-      sys::SystemConfig c;
-      c.arch = arch;
-      c.slice = slice;
-      sys::Processor p{c, model};
-      const auto run = p.run_scenario(loads);
-      add(arch.name, p.ledger(), run);
     }
-    add("HH-PIM", hh.ledger(), hh_run);
 
-    std::printf("%s (T = %s):\n%s\n", model.name().c_str(), slice.to_string().c_str(),
-                t.render().c_str());
+    std::printf("%s (T = %s):\n%s\n", model.name().c_str(),
+                Time::ps(hh.slice_ps).to_string().c_str(), t.render().c_str());
   }
   return 0;
 }

@@ -1,15 +1,18 @@
 // Design-space exploration with NVSim-lite: what supply voltage should the
-// LP cluster run at? Sweeps Vdd_LP, rebuilds the cost model, and reports the
-// energy of a mixed workload — the kind of study the paper's HP/LP choice
-// (1.2 V / 0.8 V) came from.
+// LP cluster run at? Sweeps Vdd_LP as a ConfigVariant axis of one experiment
+// grid — each point plugs its NVSim-lite spec into SystemConfig::power and
+// runs the full HH-PIM simulator on a mixed workload — the kind of study the
+// paper's HP/LP choice (1.2 V / 0.8 V) came from.
 //
-//   ./design_space [--model=effnet] [--slices=12]
+//   ./design_space [--slices=12] [--threads=N] [--json=PATH]
 #include <cstdio>
+#include <fstream>
 
 #include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "hhpim/processor.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec.hpp"
 #include "mem/nvsim_lite.hpp"
 #include "nn/zoo.hpp"
 #include "workload/scenario.hpp"
@@ -21,50 +24,53 @@ int main(int argc, char** argv) {
   const nn::Model model = nn::zoo::efficientnet_b0();
   workload::ScenarioConfig wc;
   wc.slices = static_cast<int>(cli.get_int("slices", 12));
-  const auto loads = workload::generate(workload::Scenario::kPulsing, wc);
 
   const mem::NvsimLite nvsim;
   std::printf("LP-cluster supply sweep (HP fixed at 1.2 V), %s, pulsing workload:\n\n",
               model.name().c_str());
 
-  Table t{{"Vdd_LP (V)", "LP MAC (ns)", "LP SRAM leak (mW)", "peak task", "T",
-           "total energy"}};
-  for (const double vdd : {1.1, 1.0, 0.9, 0.8, 0.7, 0.6}) {
-    const auto spec = nvsim.make_spec(1.2, vdd);
-    // Processor derives everything from the spec via the system config; we
-    // emulate by constructing the cost side manually through SystemConfig's
-    // spec path — the spec swap is exposed for exploration via a small local
-    // subclass-free trick: rebuild with paper arch but custom spec through
-    // the placement cost model.
-    const auto cost = placement::CostModel::build(
-        spec.scaled(4.0), sys::ArchConfig::hhpim().hp_shape(),
-        sys::ArchConfig::hhpim().lp_shape(), model.uses_per_weight());
-    const auto peak_alloc = sys::balanced_sram_split(cost, model.effective_params());
-    const Time peak = placement::task_time(cost, peak_alloc);
-    const Time slice = peak * 10 * 1.01;
+  // One grid: the Vdd_LP axis is a ConfigVariant per supply point, each
+  // carrying its NVSim-lite spec through the SystemConfig::power override.
+  exp::ExperimentSpec spec;
+  spec.name = "design-space-vdd-lp";
+  spec.archs = {sys::ArchConfig::hhpim()};
+  spec.models = {model};
+  spec.scenarios = {exp::ScenarioSpec::of(workload::Scenario::kPulsing, wc)};
+  const double vdds[] = {1.1, 1.0, 0.9, 0.8, 0.7, 0.6};
+  for (const double vdd : vdds) {
+    sys::SystemConfig cfg;
+    cfg.power = nvsim.make_spec(1.2, vdd);
+    cfg.lut_t_entries = 64;
+    cfg.lut_k_blocks = 64;
+    spec.variants.push_back({format_double(vdd, 1), cfg});
+  }
 
-    placement::LutParams lp;
-    lp.slice = slice;
-    lp.total_weights = model.effective_params();
-    lp.t_entries = 64;
-    lp.k_blocks = 64;
-    const auto lut = placement::AllocationLut::build(cost, lp);
+  exp::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+  const exp::ResultSet results = exp::Runner{opts}.run(spec);
 
-    // Analytic scenario energy from the LUT (dyn + quantized retention),
-    // aggregated over the load trace.
-    Energy total = Energy::zero();
-    for (const int n : loads) {
-      if (n == 0) continue;
-      const auto& e = lut.lookup(slice / n);
-      if (!e.feasible) continue;
-      total += e.predicted_task_energy * static_cast<double>(n);
-    }
+  Table t{{"Vdd_LP (V)", "LP MAC (ns)", "LP SRAM leak (mW)", "T", "total energy",
+           "leakage", "misses"}};
+  for (const double vdd : vdds) {
+    const auto raw = nvsim.make_spec(1.2, vdd);
+    const exp::RunResult& r = results.at("HH-PIM", model.name(), "high-low-pulsing",
+                                         format_double(vdd, 1));
     t.add_row({format_double(vdd, 1),
-               format_double(spec.lp.pe.mac_latency.as_ns(), 2),
-               format_double(spec.lp.sram_power.leakage.as_mw(), 2),
-               peak.to_string(), slice.to_string(), total.to_string()});
+               format_double(raw.lp.pe.mac_latency.as_ns(), 2),
+               format_double(raw.lp.sram_power.leakage.as_mw(), 2),
+               Time::ps(r.slice_ps).to_string(), r.total_energy().to_string(),
+               Energy::pj(r.leakage_energy_pj).to_string(),
+               std::to_string(r.deadline_violations)});
   }
   std::printf("%s\n", t.render().c_str());
+
+  const std::string json_path = cli.get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    results.write_json(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
   std::printf("Reading: lowering Vdd_LP cuts LP leakage and per-access energy but\n"
               "stretches the LP cluster's latency, pushing work back to the HP side —\n"
               "the paper's 0.8 V choice sits near the sweet spot (and matches fabricated\n"

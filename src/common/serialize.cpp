@@ -1,0 +1,179 @@
+#include "common/serialize.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hhpim {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (top_written_) throw std::logic_error("JsonWriter: second top-level value");
+    return;
+  }
+  const Ctx ctx = stack_.back();
+  if (ctx == Ctx::kObjectKey) {
+    throw std::logic_error("JsonWriter: value in object without a key");
+  }
+  if (ctx == Ctx::kArray) {
+    if (!first_.back()) os_ << ',';
+    first_.back() = false;
+    newline_indent();
+  }
+}
+
+void JsonWriter::after_value() {
+  if (stack_.empty()) {
+    top_written_ = true;
+  } else if (stack_.back() == Ctx::kObjectValue) {
+    stack_.back() = Ctx::kObjectKey;  // next must be a key
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Ctx::kObjectKey);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || (stack_.back() != Ctx::kObjectKey)) {
+    throw std::logic_error("JsonWriter: end_object outside object (or after dangling key)");
+  }
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) newline_indent();
+  os_ << '}';
+  after_value();
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Ctx::kArray);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Ctx::kArray) {
+    throw std::logic_error("JsonWriter: end_array outside array");
+  }
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) newline_indent();
+  os_ << ']';
+  after_value();
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Ctx::kObjectKey) {
+    throw std::logic_error("JsonWriter: key outside object (or two keys in a row)");
+  }
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  newline_indent();
+  os_ << '"' << json_escape(k) << "\": ";
+  stack_.back() = Ctx::kObjectValue;
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  after_value();
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  os_ << json_number(v);
+  after_value();
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  after_value();
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  after_value();
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  after_value();
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  after_value();
+}
+
+bool JsonWriter::done() const { return top_written_ && stack_.empty(); }
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string{cell};
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+}  // namespace hhpim

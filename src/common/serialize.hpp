@@ -1,0 +1,92 @@
+// Minimal deterministic JSON and CSV writers for experiment results.
+//
+// Both writers produce byte-stable output for equal inputs: keys are emitted
+// in call order, doubles use std::to_chars shortest round-trip formatting,
+// and no locale-dependent formatting is involved — which is what lets the
+// experiment runner diff a multi-threaded run against a single-threaded one.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hhpim {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Shortest round-trip decimal rendering of a double ("0.25", "1e+20").
+/// NaN/Inf (not valid JSON numbers) render as null.
+[[nodiscard]] std::string json_number(double v);
+
+/// Streaming JSON writer with 2-space indentation. Usage:
+///
+///   JsonWriter w{os};
+///   w.begin_object();
+///     w.key("runs"); w.begin_array();
+///       w.value(1); w.value("two");
+///     w.end_array();
+///   w.end_object();
+///
+/// The writer validates nesting via its context stack; misuse (e.g. a value
+/// in an object without a preceding key) throws std::logic_error.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view{v}); }
+  void value(const std::string& v) { value(std::string_view{v}); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// key + value in one call.
+  template <typename T>
+  void field(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// True once the single top-level value is complete.
+  [[nodiscard]] bool done() const;
+
+ private:
+  enum class Ctx : std::uint8_t { kObjectKey, kObjectValue, kArray };
+
+  void before_value();
+  void after_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> first_;  // parallel to stack_: no comma yet at this level
+  bool top_written_ = false;
+};
+
+/// CSV writer (RFC 4180 quoting: fields containing comma, quote or newline
+/// are quoted, embedded quotes doubled). One row per call, '\n' line endings.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] static std::string escape(std::string_view cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace hhpim

@@ -1,0 +1,53 @@
+// Parallel experiment runner.
+//
+// Executes the independent RunSpecs of an expanded ExperimentSpec on a fixed
+// pool of N worker threads (no work stealing: workers claim the next grid
+// index from a shared atomic counter). Each run constructs its *own*
+// sys::Processor — the single-threaded invariant of sim::Engine and the
+// Processor's internal state is preserved per run — and writes its RunResult
+// into a pre-sized vector at the run's grid index. Results are therefore
+// bit-identical regardless of thread count or completion order; only
+// wall-clock changes.
+#pragma once
+
+#include <vector>
+
+#include "exp/result.hpp"
+#include "exp/spec.hpp"
+
+namespace hhpim::exp {
+
+struct RunnerOptions {
+  /// Worker threads. 0 = one per hardware thread (min 1); 1 = run inline on
+  /// the calling thread (no pool).
+  unsigned threads = 0;
+  /// Retain per-slice metrics in each RunResult (larger results/JSON).
+  bool keep_slices = false;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {}) : options_(options) {}
+
+  /// Expands and executes the grid. Propagates the first run exception (all
+  /// other runs still complete).
+  [[nodiscard]] ResultSet run(const ExperimentSpec& spec) const;
+
+  /// Executes pre-expanded runs (possibly a filtered subset of an expanded
+  /// grid). Results are returned in the same order as `runs`; each
+  /// RunResult::index echoes its RunSpec::index.
+  [[nodiscard]] ResultSet run_all(std::vector<RunSpec> runs) const;
+
+  /// Executes one run on the calling thread. Exposed for tests and for
+  /// callers embedding single runs in their own loops.
+  [[nodiscard]] static RunResult execute(const RunSpec& spec, bool keep_slices = false);
+
+  [[nodiscard]] const RunnerOptions& options() const { return options_; }
+  /// The worker count a `threads` request resolves to on this host.
+  [[nodiscard]] static unsigned resolve_threads(unsigned requested);
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace hhpim::exp

@@ -16,9 +16,38 @@ Energy RunStats::mean_slice_energy() const {
   return total_energy / static_cast<double>(slices.size());
 }
 
+energy::PowerSpec resolved_power_spec(const SystemConfig& config) {
+  return (config.power.has_value() ? *config.power : energy::PowerSpec::paper_45nm())
+      .scaled(config.time_scale);
+}
+
+namespace {
+
+// T = N_max * peak task time (paper: up to 10 inferences per slice at peak),
+// plus the 1 % margin the paper reserves for runtime overheads (its optimizer
+// budget is "1 % of each time slice"). Peak is the latency-balanced SRAM
+// split. The single definition shared by the Processor constructor and
+// derived_slice_length — the grid's slice-pinning invariant depends on the
+// two agreeing exactly.
+Time slice_from_cost(const placement::CostModel& cost, std::uint64_t weights,
+                     int max_inferences_per_slice) {
+  const Time peak = placement::task_time(cost, balanced_sram_split(cost, weights));
+  return peak * static_cast<std::int64_t>(max_inferences_per_slice) * 1.01;
+}
+
+}  // namespace
+
+Time derived_slice_length(const SystemConfig& config, const nn::Model& model) {
+  if (config.slice > Time::zero()) return config.slice;
+  const auto cost =
+      placement::CostModel::build(resolved_power_spec(config), config.arch.hp_shape(),
+                                  config.arch.lp_shape(), model.uses_per_weight());
+  return slice_from_cost(cost, model.effective_params(), config.max_inferences_per_slice);
+}
+
 Processor::Processor(const SystemConfig& config, const nn::Model& model)
     : config_(config),
-      spec_(energy::PowerSpec::paper_45nm().scaled(config.time_scale)),
+      spec_(resolved_power_spec(config)),
       weights_(model.effective_params()),
       pim_macs_(model.pim_macs()),
       cost_(placement::CostModel::build(spec_, config.arch.hp_shape(),
@@ -54,13 +83,9 @@ Processor::Processor(const SystemConfig& config, const nn::Model& model)
                   arch.lp_modules == 0 ? arch.hp_modules : arch.lp_modules));
   xfer_ = std::make_unique<pim::DataAllocator>(xc, lanes, &ledger_);
 
-  // Slice length: T = N_max * peak task time (paper: up to 10 inferences per
-  // slice at HH-PIM peak performance), plus the 1 % margin the paper reserves
-  // for runtime overheads (its optimizer budget is "1 % of each time slice").
   slice_ = config_.slice > Time::zero()
                ? config_.slice
-               : peak_task_time() *
-                     static_cast<std::int64_t>(config_.max_inferences_per_slice) * 1.01;
+               : slice_from_cost(cost_, weights_, config_.max_inferences_per_slice);
 
   // Placement policy per architecture.
   switch (arch.kind) {

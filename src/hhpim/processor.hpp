@@ -31,6 +31,11 @@ namespace hhpim::sys {
 
 struct SystemConfig {
   ArchConfig arch = ArchConfig::hhpim();
+  /// Hardware timing/power spec override (raw, unscaled — `time_scale` is
+  /// applied on top, exactly as for the default). Empty = the paper's
+  /// Tables III/V (PowerSpec::paper_45nm()). Design-space sweeps plug
+  /// NvsimLite::make_spec() results in here.
+  std::optional<energy::PowerSpec> power;
   /// System time-base stretch vs raw Table III latencies (see
   /// PowerSpec::scaled and DESIGN.md §3). Calibrated default.
   double time_scale = 4.0;
@@ -64,6 +69,15 @@ struct RunStats {
 
   [[nodiscard]] Energy mean_slice_energy() const;
 };
+
+/// The effective (scaled) hardware spec a `config` resolves to.
+[[nodiscard]] energy::PowerSpec resolved_power_spec(const SystemConfig& config);
+
+/// The slice length T a Processor built from (config, model) will use,
+/// computed without constructing the Processor (no clusters, no LUT build).
+/// The experiment runner uses this to pin every architecture in a grid cell
+/// to the HH-PIM slice before any run starts.
+[[nodiscard]] Time derived_slice_length(const SystemConfig& config, const nn::Model& model);
 
 /// Component inventory — our substitute for the paper's Table II (FPGA
 /// resource usage has no simulator equivalent; see DESIGN.md).

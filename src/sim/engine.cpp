@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
@@ -12,21 +13,39 @@ EventHandle Engine::schedule_at(Time at, EventFn fn) {
                                 at.to_string() + " is in the past (now " +
                                 now_.to_string() + ")");
   }
-  auto item = std::make_unique<Item>(Item{at, next_seq_++, std::move(fn)});
-  Item* raw = item.get();
-  pool_.push_back(std::move(item));
+  Item* raw;
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    raw = pool_[slot].get();
+    raw->at = at;
+    raw->seq = next_seq_++;
+    raw->fn = std::move(fn);
+    raw->cancelled = false;
+  } else {
+    assert(pool_.size() < std::numeric_limits<std::uint32_t>::max());
+    const auto slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(std::make_unique<Item>(Item{at, next_seq_++, std::move(fn), slot}));
+    raw = pool_.back().get();
+  }
   queue_.push(raw);
   ++live_events_;
+  // Every live event occupies exactly one non-free slot (cancelled husks keep
+  // theirs until popped), so occupancy bounds the live count.
+  assert(live_events_ <= pool_.size() - free_slots_.size());
   return EventHandle{raw->seq};
 }
 
 bool Engine::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  // Linear scan over the (small) live pool; cancellation is rare and used
-  // only for timeout-style events.
+  // Linear scan over the (small) slot pool; cancellation is rare and used
+  // only for timeout-style events. Recycled slots carry fresh seqs, and
+  // consumed/freed slots are marked cancelled, so stale handles never match.
   for (auto& item : pool_) {
-    if (item && item->seq == h.seq_ && !item->cancelled) {
+    if (item->seq == h.seq_ && !item->cancelled) {
       item->cancelled = true;
+      item->fn = nullptr;  // release captures eagerly
+      assert(live_events_ > 0);
       --live_events_;
       return true;
     }
@@ -34,25 +53,33 @@ bool Engine::cancel(EventHandle h) {
   return false;
 }
 
+void Engine::release_slot(Item* item) {
+  // The queue no longer references this Item; recycle its slot. Mark it
+  // cancelled so stale EventHandles can't re-cancel a dead event before the
+  // slot is reused.
+  item->fn = nullptr;
+  item->cancelled = true;
+  free_slots_.push_back(item->slot);
+  assert(free_slots_.size() <= pool_.size());
+}
+
 bool Engine::dispatch_next() {
   while (!queue_.empty()) {
     Item* top = queue_.top();
     queue_.pop();
     if (top->cancelled) {
-      top->fn = nullptr;
+      release_slot(top);
       continue;
     }
     assert(top->at >= now_);
     now_ = top->at;
     EventFn fn = std::move(top->fn);
-    top->cancelled = true;  // consumed
+    release_slot(top);  // safe: `fn` is moved out; the slot may be reused by
+                        // events the callback schedules.
     --live_events_;
     ++executed_;
     fn();
-    // Compact the pool opportunistically once it grows past the live set.
-    if (pool_.size() > 64 && pool_.size() > live_events_ * 4 && queue_.empty()) {
-      pool_.clear();
-    }
+    assert(live_events_ <= pool_.size() - free_slots_.size());
     return true;
   }
   return false;
@@ -61,7 +88,7 @@ bool Engine::dispatch_next() {
 std::size_t Engine::run() {
   std::size_t n = 0;
   while (dispatch_next()) ++n;
-  pool_.clear();
+  assert(live_events_ == 0);
   return n;
 }
 
@@ -71,6 +98,7 @@ std::size_t Engine::run_until(Time deadline) {
     Item* top = queue_.top();
     if (top->cancelled) {
       queue_.pop();
+      release_slot(top);
       continue;
     }
     if (top->at > deadline) break;
@@ -86,6 +114,7 @@ bool Engine::step() { return dispatch_next(); }
 void Engine::reset() {
   while (!queue_.empty()) queue_.pop();
   pool_.clear();
+  free_slots_.clear();
   live_events_ = 0;
   now_ = Time::zero();
   executed_ = 0;

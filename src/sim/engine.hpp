@@ -68,6 +68,12 @@ class Engine {
   [[nodiscard]] std::size_t pending() const { return live_events_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// Number of Item slots currently allocated. Bounded by the peak number of
+  /// simultaneously queued events, not by the run length — executed and
+  /// cancelled slots are recycled through a free list (exposed so tests can
+  /// pin the no-unbounded-growth property).
+  [[nodiscard]] std::size_t pool_slots() const { return pool_.size(); }
+
   /// Resets time to zero and clears all pending events.
   void reset();
 
@@ -76,6 +82,7 @@ class Engine {
     Time at;
     std::uint64_t seq;
     EventFn fn;
+    std::uint32_t slot;       ///< index into pool_ (for free-list recycling)
     bool cancelled = false;
   };
   struct Cmp {
@@ -86,13 +93,18 @@ class Engine {
   };
 
   bool dispatch_next();
+  /// Returns an Item's slot to the free list once it leaves the queue.
+  void release_slot(Item* item);
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
   // Owning storage: the priority queue holds raw pointers into `pool_`.
+  // unique_ptr keeps the pointers stable across pool_ growth; freed slots are
+  // reused (newest-first) by schedule_at.
   std::vector<std::unique_ptr<Item>> pool_;
+  std::vector<std::uint32_t> free_slots_;
   std::priority_queue<Item*, std::vector<Item*>, Cmp> queue_;
 };
 

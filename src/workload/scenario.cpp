@@ -1,8 +1,12 @@
 #include "workload/scenario.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <fstream>
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "common/strings.hpp"
 
 namespace hhpim::workload {
 
@@ -14,6 +18,10 @@ const char* to_string(Scenario s) {
     case Scenario::kPeriodicSpikeFrequent: return "periodic-spike-frequent";
     case Scenario::kPulsing: return "high-low-pulsing";
     case Scenario::kRandom: return "random";
+    case Scenario::kRamp: return "ramp";
+    case Scenario::kBurstDecay: return "burst-decay";
+    case Scenario::kPoisson: return "poisson";
+    case Scenario::kTrace: return "trace-replay";
   }
   return "?";
 }
@@ -26,8 +34,8 @@ const char* case_name(Scenario s) {
     case Scenario::kPeriodicSpikeFrequent: return "Case 4";
     case Scenario::kPulsing: return "Case 5";
     case Scenario::kRandom: return "Case 6";
+    default: return to_string(s);
   }
-  return "?";
 }
 
 std::array<Scenario, 6> all_scenarios() {
@@ -36,7 +44,40 @@ std::array<Scenario, 6> all_scenarios() {
           Scenario::kPulsing,           Scenario::kRandom};
 }
 
+std::array<Scenario, 4> extended_scenarios() {
+  return {Scenario::kRamp, Scenario::kBurstDecay, Scenario::kPoisson,
+          Scenario::kTrace};
+}
+
+namespace {
+
+/// One Poisson draw via Knuth's product-of-uniforms method; exact for the
+/// small means used here (< ~30) and bit-stable given the Rng stream.
+int poisson_draw(Rng& rng, double mean) {
+  const double limit = std::exp(-mean);
+  double p = 1.0;
+  int k = 0;
+  do {
+    ++k;
+    p *= rng.next_double();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
 std::vector<int> generate(Scenario s, const ScenarioConfig& cfg) {
+  if (s == Scenario::kTrace) {
+    // Replay: the trace defines both the counts and the run length.
+    std::vector<int> loads = cfg.trace_path.empty() ? cfg.trace : load_trace(cfg.trace_path);
+    if (loads.empty()) {
+      throw std::invalid_argument("ScenarioConfig: kTrace needs trace_path or a non-empty trace");
+    }
+    for (const int l : loads) {
+      if (l < 0) throw std::invalid_argument("trace replay: negative load");
+    }
+    return loads;
+  }
   if (cfg.slices <= 0 || cfg.low < 0 || cfg.high < cfg.low) {
     throw std::invalid_argument("ScenarioConfig: need slices > 0 and 0 <= low <= high");
   }
@@ -70,6 +111,76 @@ std::vector<int> generate(Scenario s, const ScenarioConfig& cfg) {
       }
       break;
     }
+    case Scenario::kRamp: {
+      // Monotone non-decreasing climb from low to high across the run.
+      const double span = static_cast<double>(cfg.high - cfg.low);
+      const double steps = cfg.slices > 1 ? static_cast<double>(cfg.slices - 1) : 1.0;
+      for (int i = 0; i < cfg.slices; ++i) {
+        loads[static_cast<std::size_t>(i)] =
+            cfg.low + static_cast<int>(std::llround(span * static_cast<double>(i) / steps));
+      }
+      break;
+    }
+    case Scenario::kBurstDecay: {
+      if (cfg.burst_period <= 0 || cfg.burst_decay <= 0.0 || cfg.burst_decay > 1.0) {
+        throw std::invalid_argument(
+            "ScenarioConfig: kBurstDecay needs burst_period > 0 and burst_decay in (0, 1]");
+      }
+      const double span = static_cast<double>(cfg.high - cfg.low);
+      for (int i = 0; i < cfg.slices; ++i) {
+        const int phase = i % cfg.burst_period;
+        const double amplitude = span * std::pow(cfg.burst_decay, static_cast<double>(phase));
+        loads[static_cast<std::size_t>(i)] =
+            cfg.low + static_cast<int>(std::llround(amplitude));
+      }
+      break;
+    }
+    case Scenario::kPoisson: {
+      // Upper bound keeps exp(-mean) well away from underflow, where Knuth's
+      // method degenerates; per-slice inference counts are far below this.
+      if (cfg.poisson_mean <= 0.0 || cfg.poisson_mean > 500.0) {
+        throw std::invalid_argument(
+            "ScenarioConfig: kPoisson needs poisson_mean in (0, 500]");
+      }
+      Rng rng{cfg.seed};
+      for (auto& l : loads) {
+        l = std::min(cfg.high, poisson_draw(rng, cfg.poisson_mean));
+      }
+      break;
+    }
+    case Scenario::kTrace:
+      break;  // handled above
+  }
+  return loads;
+}
+
+void save_trace(const std::string& path, const std::vector<int>& loads) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  out << "# hhpim load trace: one inference count per slice\n";
+  for (const int l : loads) out << l << "\n";
+  if (!out) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+std::vector<int> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  std::vector<int> loads;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::size_t used = 0;
+    int v = 0;
+    try {
+      v = std::stoi(t, &used);
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_trace: bad line '" + t + "' in " + path);
+    }
+    if (used != t.size() || v < 0) {
+      throw std::runtime_error("load_trace: bad line '" + t + "' in " + path);
+    }
+    loads.push_back(v);
   }
   return loads;
 }

@@ -1,5 +1,6 @@
-// The six workload scenarios of Fig. 4: per-time-slice inference counts that
-// drive the dynamic data-placement experiments.
+// Per-time-slice inference-count generators: the six workload scenarios of
+// Fig. 4 plus extended shapes (ramp, burst-decay, Poisson arrivals, trace
+// replay) used by the experiment-runner grids.
 #pragma once
 
 #include <array>
@@ -16,11 +17,17 @@ enum class Scenario : std::uint8_t {
   kPeriodicSpikeFrequent,     ///< Case 4
   kPulsing,                   ///< Case 5
   kRandom,                    ///< Case 6
+  // --- extended shapes (not in the paper's Fig. 4) -------------------------
+  kRamp,                      ///< monotone low -> high over the run
+  kBurstDecay,                ///< periodic bursts decaying geometrically
+  kPoisson,                   ///< independent Poisson arrivals per slice
+  kTrace,                     ///< replay an explicit per-slice trace
 };
 
 [[nodiscard]] const char* to_string(Scenario s);
-[[nodiscard]] const char* case_name(Scenario s);  ///< "Case 1" .. "Case 6"
-[[nodiscard]] std::array<Scenario, 6> all_scenarios();
+[[nodiscard]] const char* case_name(Scenario s);  ///< "Case 1" .. "Case 6"; extended shapes get their name
+[[nodiscard]] std::array<Scenario, 6> all_scenarios();       ///< the paper's Fig. 4 set
+[[nodiscard]] std::array<Scenario, 4> extended_scenarios();  ///< ramp, burst-decay, Poisson, trace
 
 struct ScenarioConfig {
   int slices = 50;        ///< paper: 50 time slices per run
@@ -29,11 +36,25 @@ struct ScenarioConfig {
   int spike_period = 10;  ///< Case 3: one spike slice every `spike_period`
   int spike_period_frequent = 4;  ///< Case 4
   int pulse_width = 5;    ///< Case 5: alternate `pulse_width` high / low slices
-  std::uint64_t seed = 0x5eed2025;  ///< Case 6 randomness
+  std::uint64_t seed = 0x5eed2025;  ///< Case 6 / Poisson randomness
+  // --- extended-shape parameters -------------------------------------------
+  int burst_period = 8;      ///< kBurstDecay: a fresh burst every `burst_period`
+  double burst_decay = 0.5;  ///< kBurstDecay: geometric decay factor in (0, 1]
+  double poisson_mean = 4.0; ///< kPoisson: mean arrivals per slice (clamped to high)
+  std::string trace_path{};  ///< kTrace: file to replay (one count per line)
+  std::vector<int> trace{};  ///< kTrace: inline trace (used when trace_path empty)
 };
 
 /// Per-slice inference counts for a scenario.
 [[nodiscard]] std::vector<int> generate(Scenario s, const ScenarioConfig& cfg = {});
+
+/// Writes a load trace to `path` (one count per line, '#' comments allowed on
+/// read). Throws std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const std::vector<int>& loads);
+
+/// Reads a load trace written by save_trace (or by hand). Blank lines and
+/// '#'-prefixed comment lines are skipped. Throws on I/O or parse failure.
+[[nodiscard]] std::vector<int> load_trace(const std::string& path);
 
 /// Renders a small ASCII sparkline of the load curve (for bench output).
 [[nodiscard]] std::string sparkline(const std::vector<int>& loads, int high);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <vector>
 
 namespace hhpim::sim {
@@ -111,6 +113,70 @@ TEST(Engine, ResetClearsState) {
   e.schedule_at(0_ps, [&] { ran = true; });
   e.run();
   EXPECT_TRUE(ran);
+}
+
+TEST(Engine, PoolSlotsAreRecycledAcrossALongCascade) {
+  // A long chain of one-schedules-the-next events: the Item pool must stay
+  // bounded by the peak number of simultaneously queued events (here ~1), not
+  // grow with the run length.
+  Engine e;
+  int remaining = 20000;
+  std::function<void()> chain = [&] {
+    if (--remaining > 0) e.schedule_after(1_ns, chain);
+  };
+  e.schedule_at(0_ps, chain);
+  e.run();
+  EXPECT_EQ(e.executed(), 20000u);
+  EXPECT_LE(e.pool_slots(), 4u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, PoolSlotsBoundedAcrossRepeatedWaves) {
+  // Slice-loop shape: schedule a wave, drain it, repeat. Slots from wave k
+  // must be reused by wave k+1.
+  Engine e;
+  std::size_t peak_slots = 0;
+  for (int wave = 0; wave < 200; ++wave) {
+    for (int i = 0; i < 16; ++i) {
+      e.schedule_after(Time::ns(static_cast<double>(i + 1)), [] {});
+    }
+    EXPECT_EQ(e.pending(), 16u);
+    e.run();
+    EXPECT_EQ(e.pending(), 0u);
+    peak_slots = std::max(peak_slots, e.pool_slots());
+  }
+  EXPECT_EQ(e.executed(), 200u * 16u);
+  EXPECT_LE(peak_slots, 16u);
+}
+
+TEST(Engine, CancelledSlotsAreReclaimedOncePopped) {
+  Engine e;
+  for (int i = 0; i < 100; ++i) {
+    const EventHandle h = e.schedule_after(Time::ns(static_cast<double>(i + 1)), [] {});
+    EXPECT_TRUE(e.cancel(h));
+  }
+  EXPECT_EQ(e.pending(), 0u);
+  e.run();  // pops the cancelled husks, freeing their slots
+  EXPECT_EQ(e.executed(), 0u);
+  // The next wave reuses those slots instead of growing the pool.
+  const std::size_t slots_after_cancel_wave = e.pool_slots();
+  for (int i = 0; i < 100; ++i) {
+    e.schedule_after(Time::ns(static_cast<double>(i + 1)), [] {});
+  }
+  EXPECT_EQ(e.pool_slots(), slots_after_cancel_wave);
+  EXPECT_EQ(e.run(), 100u);
+}
+
+TEST(Engine, StaleHandleCannotCancelARecycledSlot) {
+  Engine e;
+  bool second_ran = false;
+  const EventHandle first = e.schedule_at(1_ns, [] {});
+  e.run();  // first's slot is now free
+  e.schedule_at(2_ns, [&] { second_ran = true; });  // likely reuses the slot
+  EXPECT_FALSE(e.cancel(first));  // stale handle must not hit the new event
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_TRUE(second_ran);
 }
 
 TEST(Engine, ManyEventsStressOrdering) {

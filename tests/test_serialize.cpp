@@ -1,0 +1,81 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hhpim {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string{"\x01"}), "\\u0001");
+}
+
+TEST(JsonNumber, ShortestRoundTripAndNonFinite) {
+  EXPECT_EQ(json_number(0.25), "0.25");
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(0.0 / 0.0), "null");
+  // Round-trip: the rendering parses back to the exact same double.
+  const double v = 1234.5678901234567;
+  EXPECT_EQ(std::stod(json_number(v)), v);
+}
+
+TEST(JsonWriter, NestedStructure) {
+  std::ostringstream os;
+  JsonWriter w{os};
+  w.begin_object();
+  w.field("name", "grid");
+  w.key("runs");
+  w.begin_array();
+  w.begin_object();
+  w.field("i", 0);
+  w.field("ok", true);
+  w.end_object();
+  w.value(2.5);
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.done());
+  EXPECT_EQ(os.str(),
+            "{\n  \"name\": \"grid\",\n  \"runs\": [\n    {\n      \"i\": 0,\n"
+            "      \"ok\": true\n    },\n    2.5\n  ]\n}");
+}
+
+TEST(JsonWriter, EmptyContainersStayCompact) {
+  std::ostringstream os;
+  JsonWriter w{os};
+  w.begin_object();
+  w.key("a");
+  w.begin_array();
+  w.end_array();
+  w.key("o");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\n  \"a\": [],\n  \"o\": {}\n}");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  std::ostringstream os;
+  JsonWriter w{os};
+  w.begin_object();
+  EXPECT_THROW(w.value(1), std::logic_error);   // value without key
+  EXPECT_THROW(w.end_array(), std::logic_error);  // wrong closer
+  w.key("k");
+  EXPECT_THROW(w.key("k2"), std::logic_error);  // two keys in a row
+}
+
+TEST(CsvWriter, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  std::ostringstream os;
+  CsvWriter w{os};
+  w.row({"a", "b,c", "d"});
+  EXPECT_EQ(os.str(), "a,\"b,c\",d\n");
+}
+
+}  // namespace
+}  // namespace hhpim
