@@ -5,6 +5,7 @@
 //                     [--models=all|EfficientNet-B0,ResNet-18,...]
 //                     [--scenarios=paper|extended|all|name1,name2,...]
 //                     [--trace=FILE]        # adds a trace-replay scenario
+//                     [--no-lut-cache]      # rebuild LUTs per run (cold path)
 //                     [--json=PATH] [--csv=PATH] [--with-slices] [--quiet]
 //
 // The same spec at any --threads value produces byte-identical JSON/CSV —
@@ -21,6 +22,7 @@
 #include "common/table.hpp"
 #include "exp/runner.hpp"
 #include "exp/spec.hpp"
+#include "placement/lut_cache.hpp"
 #include "nn/zoo.hpp"
 #include "workload/scenario.hpp"
 
@@ -119,15 +121,22 @@ int main(int argc, char** argv) {
   exp::RunnerOptions opts;
   opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.keep_slices = cli.get_bool("with-slices", false);
+  opts.share_luts = !cli.get_bool("no-lut-cache", false);
+  placement::LutCache lut_cache;  // private per invocation, deterministic stats
+  opts.lut_cache = &lut_cache;
   const exp::Runner runner{opts};
 
   const exp::ResultSet results = runner.run(spec);
 
   if (!cli.get_bool("quiet", false)) {
+    const auto cache_stats = lut_cache.stats();
     std::printf("grid: %zu archs x %zu models x %zu scenarios = %zu runs "
-                "(%u threads, %d slices)\n\n",
+                "(%u threads, %d slices; LUT cache: %s, %llu built, %llu shared)\n\n",
                 spec.archs.size(), spec.models.size(), spec.scenarios.size(),
-                results.size(), exp::Runner::resolve_threads(opts.threads), wc.slices);
+                results.size(), exp::Runner::resolve_threads(opts.threads), wc.slices,
+                opts.share_luts ? "on" : "off",
+                static_cast<unsigned long long>(cache_stats.misses),
+                static_cast<unsigned long long>(cache_stats.hits));
     Table t{{"Arch", "Model", "Scenario", "total energy", "mean/slice", "misses",
              "busy (sum)"}};
     for (const auto& r : results.runs()) {

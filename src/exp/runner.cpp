@@ -8,6 +8,7 @@
 
 #include "energy/ledger.hpp"
 #include "hhpim/processor.hpp"
+#include "placement/lut_cache.hpp"
 
 namespace hhpim::exp {
 
@@ -17,8 +18,17 @@ unsigned Runner::resolve_threads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
-RunResult Runner::execute(const RunSpec& spec, bool keep_slices) {
-  sys::Processor proc{spec.config, spec.model};
+placement::LutCache* Runner::resolve_lut_cache() const {
+  if (!options_.share_luts) return nullptr;
+  return options_.lut_cache != nullptr ? options_.lut_cache
+                                       : &placement::LutCache::process_cache();
+}
+
+RunResult Runner::execute(const RunSpec& spec, bool keep_slices,
+                          placement::LutCache* lut_cache) {
+  sys::SystemConfig config = spec.config;
+  if (config.lut_cache == nullptr) config.lut_cache = lut_cache;
+  sys::Processor proc{config, spec.model};
   const sys::RunStats stats = proc.run_scenario(spec.loads);
   const energy::EnergyLedger& ledger = proc.ledger();
 
@@ -63,11 +73,12 @@ ResultSet Runner::run_all(std::vector<RunSpec> runs) const {
       resolve_threads(options_.threads),
       static_cast<unsigned>(std::max<std::size_t>(runs.size(), 1)));
 
+  placement::LutCache* const lut_cache = resolve_lut_cache();
   std::exception_ptr first_error;
   if (workers <= 1) {
     for (std::size_t i = 0; i < runs.size(); ++i) {
       try {
-        results[i] = execute(runs[i], options_.keep_slices);
+        results[i] = execute(runs[i], options_.keep_slices, lut_cache);
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
       }
@@ -85,7 +96,7 @@ ResultSet Runner::run_all(std::vector<RunSpec> runs) const {
           // echoes the original grid coordinate and may be sparse when the
           // caller passes a filtered subset), so output order always matches
           // input order regardless of completion order.
-          results[i] = execute(runs[i], keep_slices);
+          results[i] = execute(runs[i], keep_slices, lut_cache);
         } catch (...) {
           const std::lock_guard<std::mutex> lock{error_mutex};
           if (!first_error) first_error = std::current_exception();

@@ -15,6 +15,10 @@
 #include "exp/result.hpp"
 #include "exp/spec.hpp"
 
+namespace hhpim::placement {
+class LutCache;  // placement/lut_cache.hpp — only a pointer is stored here
+}
+
 namespace hhpim::exp {
 
 struct RunnerOptions {
@@ -23,6 +27,14 @@ struct RunnerOptions {
   unsigned threads = 0;
   /// Retain per-slice metrics in each RunResult (larger results/JSON).
   bool keep_slices = false;
+  /// Share placement LUTs across the grid's runs: HH-PIM runs agreeing on
+  /// (model topology, arch, cost model, slice, resolution) build one LUT
+  /// instead of one per run. Results are byte-identical with sharing on or
+  /// off (pinned by tests/test_lut_cache.cpp); only wall-clock changes.
+  bool share_luts = true;
+  /// Cache used when `share_luts` (not owned; must outlive the grid run).
+  /// nullptr = the process-wide placement::LutCache::process_cache().
+  placement::LutCache* lut_cache = nullptr;
 };
 
 class Runner {
@@ -39,10 +51,15 @@ class Runner {
   [[nodiscard]] ResultSet run_all(std::vector<RunSpec> runs) const;
 
   /// Executes one run on the calling thread. Exposed for tests and for
-  /// callers embedding single runs in their own loops.
-  [[nodiscard]] static RunResult execute(const RunSpec& spec, bool keep_slices = false);
+  /// callers embedding single runs in their own loops. `lut_cache` (may be
+  /// nullptr = uncached) is consulted unless the RunSpec's SystemConfig
+  /// already names a cache of its own.
+  [[nodiscard]] static RunResult execute(const RunSpec& spec, bool keep_slices = false,
+                                         placement::LutCache* lut_cache = nullptr);
 
   [[nodiscard]] const RunnerOptions& options() const { return options_; }
+  /// The cache this runner's options resolve to (nullptr when sharing off).
+  [[nodiscard]] placement::LutCache* resolve_lut_cache() const;
   /// The worker count a `threads` request resolves to on this host.
   [[nodiscard]] static unsigned resolve_threads(unsigned requested);
 

@@ -1,5 +1,7 @@
 #include "hhpim/arch_config.hpp"
 
+#include "common/hash.hpp"
+
 namespace hhpim::sys {
 
 const char* to_string(ArchKind k) {
@@ -40,6 +42,16 @@ placement::ClusterShape ArchConfig::hp_shape() const {
 placement::ClusterShape ArchConfig::lp_shape() const {
   return placement::ClusterShape{lp_modules, mram_kb_per_module * 1024,
                                  sram_kb_per_module * 1024};
+}
+
+std::uint64_t ArchConfig::config_hash() const {
+  Fnv1a h;
+  h.add(static_cast<std::uint64_t>(kind))
+      .add(static_cast<std::uint64_t>(hp_modules))
+      .add(static_cast<std::uint64_t>(lp_modules))
+      .add(static_cast<std::uint64_t>(mram_kb_per_module))
+      .add(static_cast<std::uint64_t>(sram_kb_per_module));
+  return h.digest();
 }
 
 }  // namespace hhpim::sys

@@ -36,6 +36,11 @@ struct ArchConfig {
   [[nodiscard]] placement::ClusterShape hp_shape() const;
   [[nodiscard]] placement::ClusterShape lp_shape() const;
   [[nodiscard]] std::size_t total_modules() const { return hp_modules + lp_modules; }
+
+  /// Digest of the structural fields (kind, module counts, per-module
+  /// capacities; the display `name` is excluded). Part of the placement-LUT
+  /// cache key (placement/lut_cache.hpp).
+  [[nodiscard]] std::uint64_t config_hash() const;
 };
 
 }  // namespace hhpim::sys

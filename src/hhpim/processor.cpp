@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "placement/lut_cache.hpp"
+
 namespace hhpim::sys {
 
 using energy::ClusterKind;
@@ -118,7 +120,17 @@ Processor::Processor(const SystemConfig& config, const nn::Model& model)
       lp.total_weights = weights_;
       lp.t_entries = config_.lut_t_entries;
       lp.k_blocks = config_.lut_k_blocks;
-      auto lut = placement::AllocationLut::build(cost_, lp);
+      std::shared_ptr<const placement::AllocationLut> lut;
+      if (config_.lut_cache != nullptr) {
+        // Shared path: identical (model topology, arch, cost model, slice,
+        // resolution) keys resolve to one LUT built once per process.
+        const auto key = placement::LutCacheKey::make(
+            model.topology_hash(), arch.config_hash(), cost_, lp);
+        lut = config_.lut_cache->get_or_build(key, cost_, lp);
+      } else {
+        lut = std::make_shared<const placement::AllocationLut>(
+            placement::AllocationLut::build(cost_, lp));
+      }
       auto policy = std::make_unique<DynamicLutPolicy>(std::move(lut), cost_,
                                                        config_.movement);
       lut_view_ = &policy->lut();

@@ -27,6 +27,10 @@
 #include "placement/lut.hpp"
 #include "workload/task.hpp"
 
+namespace hhpim::placement {
+class LutCache;  // placement/lut_cache.hpp — only a pointer is stored here
+}
+
 namespace hhpim::sys {
 
 struct SystemConfig {
@@ -46,6 +50,12 @@ struct SystemConfig {
   /// LUT resolution (HH-PIM only).
   int lut_t_entries = 128;
   int lut_k_blocks = 128;
+  /// Shared placement-LUT cache (HH-PIM only; not owned, must outlive the
+  /// Processor). nullptr = build a private LUT. exp::Runner points every run
+  /// of a grid at one cache so a grid over M distinct (model, arch, cost,
+  /// resolution) combinations builds M LUTs instead of one per run; results
+  /// are byte-identical either way (pinned by tests/test_lut_cache.cpp).
+  placement::LutCache* lut_cache = nullptr;
   placement::MovementParams movement{};
 };
 

@@ -1,6 +1,7 @@
 #include "hhpim/scheduler.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace hhpim::sys {
 
@@ -20,28 +21,38 @@ SliceDecision StaticPolicy::decide(const Allocation& current, int n_tasks) {
   return d;
 }
 
-DynamicLutPolicy::DynamicLutPolicy(placement::AllocationLut lut,
+DynamicLutPolicy::DynamicLutPolicy(std::shared_ptr<const placement::AllocationLut> lut,
                                    placement::CostModel model,
                                    placement::MovementParams movement)
     : lut_(std::move(lut)), model_(model), movement_(movement) {
+  if (lut_ == nullptr) {
+    throw std::invalid_argument("DynamicLutPolicy: lut must be non-null");
+  }
   std::uint64_t total = 0;
-  if (!lut_.entries().empty()) total = lut_.entries().back().alloc.total();
+  if (!lut_->entries().empty()) total = lut_->entries().back().alloc.total();
   peak_ = balanced_sram_split(model_, total);
 }
 
+DynamicLutPolicy::DynamicLutPolicy(placement::AllocationLut lut,
+                                   placement::CostModel model,
+                                   placement::MovementParams movement)
+    : DynamicLutPolicy(
+          std::make_shared<const placement::AllocationLut>(std::move(lut)), model,
+          movement) {}
+
 Allocation DynamicLutPolicy::initial() {
   // Start from the most relaxed entry: the minimum-energy parking placement.
-  return lut_.entries().back().alloc;
+  return lut_->entries().back().alloc;
 }
 
 SliceDecision DynamicLutPolicy::decide(const Allocation& current, int n_tasks) {
   SliceDecision d;
-  const Time slice = lut_.slice();
+  const Time slice = lut_->slice();
 
   if (n_tasks == 0) {
     // Idle slice: park the weights in the most energy-efficient placement
     // (everything power-gateable), if the move pays for itself in leakage.
-    d.alloc = lut_.entries().back().alloc;
+    d.alloc = lut_->entries().back().alloc;
     d.plan = placement::plan_movement(current, d.alloc);
     const auto cost = placement::estimate_movement(model_, d.plan, movement_);
     d.movement_time = cost.time;
@@ -64,7 +75,7 @@ SliceDecision DynamicLutPolicy::decide(const Allocation& current, int n_tasks) {
     // When tc sits left of (or quantizes below) the LUT's peak boundary, use
     // the exact peak-performance placement — the hardware simply runs as
     // fast as it can (left of it is the paper's grey "Not Possible" region).
-    const placement::LutEntry& floor_entry = lut_.lookup(tc);
+    const placement::LutEntry& floor_entry = lut_->lookup(tc);
     const placement::Allocation& target =
         floor_entry.feasible ? floor_entry.alloc : peak_;
     plan = placement::plan_movement(current, target);

@@ -57,21 +57,34 @@ class StaticPolicy final : public PlacementPolicy {
 };
 
 /// Dynamic LUT-driven placement (HH-PIM).
+///
+/// The LUT is held by shared_ptr<const …>: it is immutable after build and
+/// may be shared with other Processors through placement::LutCache (see
+/// docs/ARCHITECTURE.md). The policy co-owns it, so a cache clear() never
+/// invalidates a live policy.
 class DynamicLutPolicy final : public PlacementPolicy {
  public:
+  /// `lut` must be non-null (throws std::invalid_argument otherwise).
+  DynamicLutPolicy(std::shared_ptr<const placement::AllocationLut> lut,
+                   placement::CostModel model,
+                   placement::MovementParams movement = {});
+  /// Convenience for callers that build a private LUT (wraps it unshared).
   DynamicLutPolicy(placement::AllocationLut lut, placement::CostModel model,
                    placement::MovementParams movement = {});
 
   SliceDecision decide(const placement::Allocation& current, int n_tasks) override;
   placement::Allocation initial() override;
 
-  [[nodiscard]] const placement::AllocationLut& lut() const { return lut_; }
+  [[nodiscard]] const placement::AllocationLut& lut() const { return *lut_; }
+  [[nodiscard]] const std::shared_ptr<const placement::AllocationLut>& lut_ptr() const {
+    return lut_;
+  }
   /// The exact (unquantized) peak-performance placement: latency-balanced
   /// across HP-SRAM and LP-SRAM — the green point of the paper's Fig. 6.
   [[nodiscard]] const placement::Allocation& peak_allocation() const { return peak_; }
 
  private:
-  placement::AllocationLut lut_;
+  std::shared_ptr<const placement::AllocationLut> lut_;
   placement::CostModel model_;
   placement::MovementParams movement_;
   placement::Allocation peak_;

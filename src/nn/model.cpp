@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/hash.hpp"
+
 namespace hhpim::nn {
 
 Model::Model(std::string name, double pim_op_ratio)
@@ -128,6 +130,27 @@ double Model::uses_per_weight() const {
   const std::uint64_t p = effective_params();
   if (p == 0) return 0.0;
   return static_cast<double>(pim_macs()) / static_cast<double>(p);
+}
+
+std::uint64_t Model::topology_hash() const {
+  Fnv1a h;
+  h.add(static_cast<std::uint64_t>(layers_.size()));
+  for (const Layer& l : layers_) {
+    h.add(static_cast<int>(l.kind));
+    h.add(l.in.c);
+    h.add(l.in.h);
+    h.add(l.in.w);
+    h.add(l.out.c);
+    h.add(l.out.h);
+    h.add(l.out.w);
+    h.add(l.kernel);
+    h.add(l.stride);
+    h.add(l.groups);
+  }
+  h.add(sparsity_);
+  h.add(mac_calibration_);
+  h.add(pim_ratio_);
+  return h.digest();
 }
 
 }  // namespace hhpim::nn

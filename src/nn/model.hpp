@@ -69,6 +69,13 @@ class Model {
   /// Average times each stored weight is used per inference.
   [[nodiscard]] double uses_per_weight() const;
 
+  /// Order-sensitive digest of the layer structure (kinds, shapes, kernel/
+  /// stride/groups) plus calibration (sparsity, MAC calibration, PIM ratio).
+  /// Two models with equal parameter totals but different topology hash
+  /// differently; layer *names* and the model name are excluded. Keys the
+  /// placement-LUT cache (placement/lut_cache.hpp).
+  [[nodiscard]] std::uint64_t topology_hash() const;
+
  private:
   std::string name_;
   double pim_ratio_;

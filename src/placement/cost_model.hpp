@@ -89,6 +89,11 @@ struct Allocation {
   [[nodiscard]] std::string to_string() const;
 };
 
+// Free evaluators over (CostModel, Allocation). All are pure, O(kSpaceCount)
+// per call, and assume `a.total() > 0` weights were placed consistently with
+// `m` (they do not check capacities — call fits() for that). Times are
+// integer picoseconds, energies picojoules, `window` a wall-clock span.
+
 /// Task time of an allocation: clusters run in parallel, spaces within a
 /// cluster serialize (paper §III-B).
 [[nodiscard]] Time task_time(const CostModel& m, const Allocation& a);
@@ -103,11 +108,12 @@ struct Allocation {
 /// Retention leakage with sub-array gating quantization: weights spread
 /// evenly over a space's modules, each module powering whole
 /// gate-granularity sub-arrays (matches the simulator's Bank model).
+/// Precondition: gate_granularity_weights > 0.
 [[nodiscard]] Energy retention_energy_quantized(const CostModel& m, const Allocation& a,
                                                 Time window);
-/// Total task energy (dynamic + retention over `window`).
+/// Total task energy (dynamic + linearized retention over `window`).
 [[nodiscard]] Energy task_energy(const CostModel& m, const Allocation& a, Time window);
-/// Capacity check.
+/// Capacity check: true iff every space holds at most its capacity.
 [[nodiscard]] bool fits(const CostModel& m, const Allocation& a);
 
 }  // namespace hhpim::placement

@@ -1,10 +1,13 @@
 #include "placement/knapsack.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hhpim::placement {
 
-ClusterDpTable ClusterDpTable::build(const ClusterItems& items, int t_steps, int k_blocks) {
+namespace {
+
+void validate_items(const ClusterItems& items, int t_steps, int k_blocks) {
   if (t_steps < 0 || k_blocks < 0) {
     throw std::invalid_argument("ClusterDpTable: negative dimensions");
   }
@@ -13,70 +16,125 @@ ClusterDpTable ClusterDpTable::build(const ClusterItems& items, int t_steps, int
       throw std::invalid_argument("ClusterDpTable: block time must be >= 1 step");
     }
   }
+}
+
+/// Minimum steps to process exactly k blocks (fill the faster space first,
+/// respecting capacities); -1 when k exceeds the combined capacity. Exactly
+/// the DP's feasibility frontier: dp[t][k] < inf iff min_steps(k) <= t.
+std::int64_t min_steps_for(const ClusterItems& items, int k) {
+  const int fast = items[0].time_steps <= items[1].time_steps ? 0 : 1;
+  const int slow = 1 - fast;
+  const auto& f = items[static_cast<std::size_t>(fast)];
+  const auto& s = items[static_cast<std::size_t>(slow)];
+  const int in_fast = std::min(k, f.cap_blocks);
+  const int in_slow = k - in_fast;
+  if (in_slow > s.cap_blocks) return -1;
+  return static_cast<std::int64_t>(in_fast) * f.time_steps +
+         static_cast<std::int64_t>(in_slow) * s.time_steps;
+}
+
+}  // namespace
+
+int max_feasible_blocks(const ClusterItems& items, int t_steps, int k_max) {
+  validate_items(items, t_steps, k_max);
+  // min_steps_for is nondecreasing in k, so walk up until the budget breaks.
+  int k = 0;
+  while (k < k_max) {
+    const std::int64_t need = min_steps_for(items, k + 1);
+    if (need < 0 || need > t_steps) break;
+    ++k;
+  }
+  return k;
+}
+
+ClusterDpTable ClusterDpTable::build(const ClusterItems& items, int t_steps, int k_blocks) {
+  validate_items(items, t_steps, k_blocks);
 
   ClusterDpTable table;
   table.t_steps_ = t_steps;
   table.k_blocks_ = k_blocks;
-  const std::size_t cells =
-      static_cast<std::size_t>(t_steps + 1) * static_cast<std::size_t>(k_blocks + 1);
+  const std::size_t stride = static_cast<std::size_t>(k_blocks + 1);
+  const std::size_t cells = static_cast<std::size_t>(t_steps + 1) * stride;
 
-  auto at = [&](std::vector<double>& v, int t, int k) -> double& {
-    return v[static_cast<std::size_t>(t) * static_cast<std::size_t>(k_blocks + 1) +
-             static_cast<std::size_t>(k)];
-  };
-  auto atc = [&](std::vector<std::uint16_t>& v, int t, int k) -> std::uint16_t& {
-    return v[static_cast<std::size_t>(t) * static_cast<std::size_t>(k_blocks + 1) +
-             static_cast<std::size_t>(k)];
-  };
+  // Algorithm 1 over the two spaces of one cluster, with the MRAM level
+  // (space 0) collapsed to its closed form: placing k blocks using MRAM only
+  // costs k·e_mram and takes k·dt_mram steps (feasible iff k <= cap_mram).
+  // Only the SRAM level (space 1) runs as a DP, written directly into the
+  // final table — no per-level scratch buffers, one allocation per array.
+  //
+  //   dp[t][k] = min( mram_only(t, k),                       // paper line 12
+  //                   dp[t - dt_sram][k - 1] + e_sram )      // paper line 9
+  //
+  // cnt[t][k] is the paper's count[][][]: blocks the optimal path placed in
+  // SRAM; it traces the allocation and enforces the SRAM capacity. The MRAM
+  // prefix energies are accumulated iteratively (e0sum[k] = e0sum[k-1] + e)
+  // so results stay bit-identical to a literal per-level DP.
+  table.dp_.assign(cells, kInfEnergy);
+  table.cnt_.assign(cells, 0);
+  for (int t = 0; t <= t_steps; ++t) table.dp_[static_cast<std::size_t>(t) * stride] = 0.0;
+  if (k_blocks == 0) return table;
 
-  // Rolling the space dimension: `prev` is dp[i-1], `cur` is dp[i].
-  // Base case (i = 0, no spaces yet): only k = 0 is feasible, at zero energy
-  // (paper lines 2-3). cnt[i] is the paper's count[][][]: the number of
-  // blocks the optimal path placed into space i; it traces the allocation
-  // and enforces the per-space capacity.
-  std::vector<double> prev(cells, kInfEnergy);
-  std::vector<double> cur;
-  std::vector<std::uint16_t> cnt(cells, 0);
-  for (int t = 0; t <= t_steps; ++t) at(prev, t, 0) = 0.0;
+  const DpItem& mram = items[0];
+  const DpItem& sram = items[1];
 
-  for (int i = 0; i < 2; ++i) {  // n/2 spaces per cluster (paper line 4)
-    const DpItem& item = items[static_cast<std::size_t>(i)];
-    cur.assign(cells, kInfEnergy);
-    std::fill(cnt.begin(), cnt.end(), 0);
-    for (int t = 0; t <= t_steps; ++t) at(cur, t, 0) = 0.0;
+  // Early-infeasibility bounds: cells with k > cap_mram + cap_sram, or with
+  // t < min_steps(k), are infeasible for every placement and are never
+  // visited (their infinity initialization is their exact value).
+  const int k_cap = std::min<std::int64_t>(
+      k_blocks,
+      static_cast<std::int64_t>(mram.cap_blocks) + sram.cap_blocks);
+  std::vector<std::int64_t> min_steps(static_cast<std::size_t>(k_cap) + 1, 0);
+  for (int k = 1; k <= k_cap; ++k) {
+    min_steps[static_cast<std::size_t>(k)] = min_steps_for(items, k);
+  }
 
-    for (int k = 1; k <= k_blocks; ++k) {    // paper line 5
-      for (int t = 0; t <= t_steps; ++t) {   // paper line 6
-        // Option A: carry from the previous space level (paper line 12);
-        // that path placed nothing in space i.
-        double best = at(prev, t, k);
-        std::uint16_t best_cnt = 0;
-        // Option B: one more block into space i (paper line 9), if the block
-        // fits the remaining time and the space has capacity left.
-        if (item.time_steps <= t) {
-          const double from = at(cur, t - item.time_steps, k - 1);
-          if (from < kInfEnergy) {
-            const std::uint16_t used = atc(cnt, t - item.time_steps, k - 1);
-            if (static_cast<int>(used) < item.cap_blocks) {
-              const double e = from + item.energy_pj;
-              if (e < best) {
-                best = e;
-                best_cnt = static_cast<std::uint16_t>(used + 1);
-              }
+  // MRAM-only prefix energies, iteratively accumulated.
+  std::vector<double> mram_energy(static_cast<std::size_t>(std::min(k_cap, mram.cap_blocks)) + 1,
+                                  0.0);
+  for (std::size_t k = 1; k < mram_energy.size(); ++k) {
+    mram_energy[k] = mram_energy[k - 1] + mram.energy_pj;
+  }
+
+  double* dp = table.dp_.data();
+  std::uint16_t* cnt = table.cnt_.data();
+  const int dt = sram.time_steps;
+  // t outer / k inner: dp[t][*] and dp[t - dt][*] are contiguous rows, so the
+  // inner loop streams through memory instead of striding by k.
+  int k_ub = 0;  // largest k with min_steps(k) <= t; nondecreasing in t
+  for (int t = 0; t <= t_steps; ++t) {
+    while (k_ub < k_cap && min_steps[static_cast<std::size_t>(k_ub) + 1] <= t) ++k_ub;
+    double* row = dp + static_cast<std::size_t>(t) * stride;
+    std::uint16_t* crow = cnt + static_cast<std::size_t>(t) * stride;
+    const double* prev_row =
+        t >= dt ? dp + static_cast<std::size_t>(t - dt) * stride : nullptr;
+    const std::uint16_t* prev_crow =
+        t >= dt ? cnt + static_cast<std::size_t>(t - dt) * stride : nullptr;
+    const std::int64_t mram_budget = static_cast<std::int64_t>(t) / mram.time_steps;
+    for (int k = 1; k <= k_ub; ++k) {
+      // Option A: all remaining blocks stayed in MRAM (the closed-form level).
+      double best = kInfEnergy;
+      std::uint16_t best_cnt = 0;
+      if (k <= mram.cap_blocks && k <= mram_budget) {
+        best = mram_energy[static_cast<std::size_t>(k)];
+      }
+      // Option B: one more block into SRAM, if it fits time and capacity.
+      if (prev_row != nullptr) {
+        const double from = prev_row[k - 1];
+        if (from < kInfEnergy) {
+          const std::uint16_t used = prev_crow[k - 1];
+          if (static_cast<int>(used) < sram.cap_blocks) {
+            const double e = from + sram.energy_pj;
+            if (e < best) {
+              best = e;
+              best_cnt = static_cast<std::uint16_t>(used + 1);
             }
           }
         }
-        at(cur, t, k) = best;
-        atc(cnt, t, k) = best_cnt;   // paper lines 10 / 13
       }
+      row[k] = best;
+      crow[k] = best_cnt;
     }
-    if (i == 0) prev.swap(cur);
   }
-
-  // After the final level, cnt holds the SRAM (space 1) block count of the
-  // optimal path; MRAM gets the remainder.
-  table.dp_ = std::move(cur);
-  table.cnt_ = std::move(cnt);
   return table;
 }
 

@@ -9,7 +9,9 @@
 // dp_hp[t][k_hp] + dp_lp[t][K - k_hp] over k_hp.
 //
 // Work is done in *blocks* of weights and *steps* of time (the paper's
-// resolution limiting, §III-B); conversions live in lut.cpp.
+// resolution limiting, §III-B); conversions live in lut.cpp. Throughout this
+// header: time is in integer DP steps (1 step = the caller's quantum, see
+// AllocationLut), energy in picojoules, capacities in blocks.
 #pragma once
 
 #include <array>
@@ -21,6 +23,11 @@
 namespace hhpim::placement {
 
 /// One storage space as seen by the DP, costs per block.
+///
+/// Units: `time_steps` is the ceil-quantized processing time of one block in
+/// DP steps (precondition: >= 1); `energy_pj` the per-block energy in pJ,
+/// including the task's amortized share of retention leakage (see lut.cpp);
+/// `cap_blocks` the space capacity in blocks (0 = space absent, never used).
 struct DpItem {
   int time_steps = 1;        ///< quantized processing time of one block
   double energy_pj = 0.0;    ///< energy of one block (incl. amortized leakage)
@@ -32,17 +39,41 @@ using ClusterItems = std::array<DpItem, 2>;
 
 inline constexpr double kInfEnergy = std::numeric_limits<double>::infinity();
 
+/// The largest block count k <= `k_max` this cluster can process within
+/// `t_steps` (its time-minimal schedule fills the faster space first, capped
+/// by capacity). This is exactly the DP's feasibility frontier: for any k,
+/// ClusterDpTable::feasible(t_steps, k) iff k <= max_feasible_blocks(...).
+/// The LUT builder uses it to reject infeasible t_constraint entries in O(K)
+/// before paying for the O(T*K) table. Preconditions: t_steps, k_max >= 0 and
+/// every item's time_steps >= 1.
+[[nodiscard]] int max_feasible_blocks(const ClusterItems& items, int t_steps, int k_max);
+
 /// The DP table of one cluster: dp[t][k] = minimum energy to place exactly k
 /// blocks in this cluster within t time steps (infinity if infeasible).
+///
+/// build() is Algorithm 1 specialized to the n/2 = 2 spaces of one cluster:
+/// the MRAM-only level has the closed form dp_0[t][k] = k·e_mram (feasible
+/// iff k <= cap_mram and k·dt_mram <= t), so only the SRAM level runs as an
+/// actual DP — computed in place, in one allocation per table, visiting only
+/// cells above the per-k feasibility bound t >= min_steps(k). Worst case
+/// O(t_steps * k_blocks) cells; the pruning skips the provably-infeasible
+/// triangle (cells below the bound keep their infinity initialization, which
+/// is exactly their value). Preconditions: t_steps, k_blocks >= 0; every
+/// item's time_steps >= 1 (throws std::invalid_argument otherwise);
+/// k_blocks < 65536 (block counts trace through uint16 counters).
 class ClusterDpTable {
  public:
-  /// Algorithm 1. O(n/2 * t_steps * k_blocks).
+  /// Algorithm 1. O(t_steps * k_blocks) worst case, pruned as above.
   static ClusterDpTable build(const ClusterItems& items, int t_steps, int k_blocks);
 
+  /// Minimum energy (pJ) to place exactly `k` blocks within `t` steps;
+  /// kInfEnergy when infeasible. Precondition: 0 <= t <= t_steps(),
+  /// 0 <= k <= k_blocks().
   [[nodiscard]] double energy(int t, int k) const { return dp_[index(t, k)]; }
   [[nodiscard]] bool feasible(int t, int k) const { return energy(t, k) < kInfEnergy; }
 
   /// Blocks placed in (MRAM, SRAM) on the optimal path for (t, k).
+  /// Meaningful only when feasible(t, k); returns (k, 0) otherwise.
   [[nodiscard]] std::pair<int, int> split(int t, int k) const;
 
   [[nodiscard]] int t_steps() const { return t_steps_; }
@@ -68,7 +99,8 @@ struct CombineResult {
 };
 
 /// Algorithm 2 inner loop: optimal (k_hp, k_lp) for `k_total` blocks within
-/// `t` steps. O(k_total).
+/// `t` steps. O(k_total). Preconditions: `t` within both tables' t_steps();
+/// `k_total` >= 0 (splits beyond a table's k_blocks() are skipped).
 [[nodiscard]] CombineResult combine_clusters(const ClusterDpTable& hp,
                                              const ClusterDpTable& lp,
                                              int k_total, int t);

@@ -68,6 +68,21 @@ AllocationLut AllocationLut::build(const CostModel& model, const LutParams& para
         make_item(model.at(Space::kLpSram), block, t_int, tc),
     };
 
+    // Early infeasibility cutoff: the DP's feasibility frontier per cluster
+    // is known in O(K) (time-minimal schedules), so entries left of the peak
+    // boundary — the paper's grey "Not Possible" region — are rejected
+    // without paying for the O(T*K) tables. Exact: the combine step is
+    // feasible iff some split k_hp + k_lp = K has both halves inside their
+    // cluster's frontier, i.e. iff the frontiers sum to at least K.
+    const int k_max_hp = max_feasible_blocks(hp_items, internal_steps, k_total);
+    const int k_max_lp = max_feasible_blocks(lp_items, internal_steps, k_total);
+    if (k_max_hp + k_max_lp < k_total) {
+      LutEntry entry;
+      entry.t_constraint = tc;
+      lut.entries_.push_back(entry);
+      continue;
+    }
+
     // Algorithm 1, once per cluster, with this entry's time constraint as
     // the end of the quantized time axis.
     const auto hp = ClusterDpTable::build(hp_items, internal_steps, k_total);

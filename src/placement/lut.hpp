@@ -26,9 +26,12 @@
 
 namespace hhpim::placement {
 
+/// Build parameters. Preconditions (build() throws std::invalid_argument
+/// otherwise): slice > 0, total_weights > 0, t_entries > 0, k_blocks > 0,
+/// and slice must span at least t_entries picoseconds.
 struct LutParams {
   Time slice;                  ///< T: the time-slice length
-  std::uint64_t total_weights = 0;  ///< K
+  std::uint64_t total_weights = 0;  ///< K, in weights (= bytes for INT8)
   int t_entries = 128;         ///< LUT entries over (0, T]
   int k_blocks = 128;          ///< weight-block resolution
 };
@@ -40,9 +43,15 @@ struct LutEntry {
   Energy predicted_task_energy;
 };
 
+/// Immutable after build(); lookups are const and safe to share across
+/// threads without synchronization. Grid runs share one instance per
+/// (model, arch, cost, resolution) via LutCache (lut_cache.hpp).
 class AllocationLut {
  public:
-  /// Builds the LUT. O(t_entries^2 * k_blocks) DP cells total.
+  /// Builds the LUT: per entry, an O(K) feasibility precheck (the peak
+  /// boundary), then Algorithms 1 & 2 for feasible entries only —
+  /// O(t_entries * internal_steps * k_blocks) DP cells worst case, with
+  /// internal_steps = 16 * k_blocks. Energies in pJ, times in integer ps.
   static AllocationLut build(const CostModel& model, const LutParams& params);
 
   /// The entry for the largest tabulated t_constraint <= `tc` (so the

@@ -1,0 +1,112 @@
+#include "placement/lut_cache.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace hhpim::placement {
+
+std::uint64_t cost_model_hash(const CostModel& m) {
+  Fnv1a h;
+  for (const SpaceCost& c : m.space) {
+    h.add(c.time_per_weight.as_ps())
+        .add(c.dyn_per_weight.as_pj())
+        .add(c.leak_per_weight.as_mw())
+        .add(static_cast<std::uint64_t>(c.capacity_weights))
+        .add(c.read_latency.as_ps())
+        .add(c.write_latency.as_ps())
+        .add(c.read_energy.as_pj())
+        .add(c.write_energy.as_pj())
+        .add(static_cast<std::uint64_t>(c.modules));
+  }
+  h.add(m.uses_per_weight).add(static_cast<std::uint64_t>(m.gate_granularity_weights));
+  return h.digest();
+}
+
+LutCacheKey LutCacheKey::make(std::uint64_t topology_hash, std::uint64_t arch_hash,
+                              const CostModel& model, const LutParams& params) {
+  LutCacheKey k;
+  k.topology_hash = topology_hash;
+  k.arch_hash = arch_hash;
+  k.cost_hash = cost_model_hash(model);
+  k.slice_ps = params.slice.as_ps();
+  k.total_weights = params.total_weights;
+  k.t_entries = params.t_entries;
+  k.k_blocks = params.k_blocks;
+  return k;
+}
+
+std::size_t LutCacheKey::Hash::operator()(const LutCacheKey& k) const {
+  Fnv1a h;
+  h.add(k.topology_hash)
+      .add(k.arch_hash)
+      .add(k.cost_hash)
+      .add(k.slice_ps)
+      .add(k.total_weights)
+      .add(k.t_entries)
+      .add(k.k_blocks);
+  return static_cast<std::size_t>(h.digest());
+}
+
+std::shared_ptr<const AllocationLut> LutCache::get_or_build(const LutCacheKey& key,
+                                                            const CostModel& model,
+                                                            const LutParams& params) {
+  std::promise<std::shared_ptr<const AllocationLut>> promise;
+  Future future;
+  std::uint64_t my_gen = 0;
+  bool builder = false;
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    const auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      ++hits_;
+      future = it->second.future;
+    } else {
+      ++misses_;
+      builder = true;
+      my_gen = ++next_gen_;
+      future = promise.get_future().share();
+      slots_.emplace(key, Slot{future, my_gen});
+    }
+  }
+  if (builder) {
+    try {
+      promise.set_value(
+          std::make_shared<const AllocationLut>(AllocationLut::build(model, params)));
+    } catch (...) {
+      {
+        // Evict only our own slot: a concurrent clear() may already have
+        // dropped it and a successor may have inserted a healthy build under
+        // the same key.
+        const std::lock_guard<std::mutex> lock{mu_};
+        const auto it = slots_.find(key);
+        if (it != slots_.end() && it->second.gen == my_gen) slots_.erase(it);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();  // rethrows the build error for builder and waiters alike
+}
+
+bool LutCache::contains(const LutCacheKey& key) const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return slots_.contains(key);
+}
+
+void LutCache::clear() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  slots_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+LutCache::Stats LutCache::stats() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return Stats{hits_, misses_, slots_.size()};
+}
+
+LutCache& LutCache::process_cache() {
+  static LutCache cache;
+  return cache;
+}
+
+}  // namespace hhpim::placement

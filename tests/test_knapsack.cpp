@@ -81,6 +81,60 @@ TEST(ClusterDp, ZeroCapacitySpaceNeverUsed) {
   EXPECT_EQ(sram, 5);
 }
 
+TEST(ClusterDp, BothSpacesZeroCapacityOnlyEmptyIsFeasible) {
+  const ClusterItems items = {DpItem{1, 1.0, 0}, DpItem{1, 5.0, 0}};
+  const auto table = ClusterDpTable::build(items, 10, 5);
+  for (int t = 0; t <= 10; ++t) {
+    EXPECT_TRUE(table.feasible(t, 0)) << t;
+    EXPECT_DOUBLE_EQ(table.energy(t, 0), 0.0) << t;
+    for (int k = 1; k <= 5; ++k) EXPECT_FALSE(table.feasible(t, k)) << t << "," << k;
+  }
+}
+
+TEST(ClusterDp, CombinedCapacityBounds) {
+  // cap 2 + 3 = 5: k = 6 infeasible at any t; k = 5 feasible given time.
+  const ClusterItems items = {DpItem{2, 1.0, 2}, DpItem{1, 5.0, 3}};
+  const auto table = ClusterDpTable::build(items, 100, 8);
+  EXPECT_FALSE(table.feasible(100, 6));
+  EXPECT_FALSE(table.feasible(100, 8));
+  ASSERT_TRUE(table.feasible(100, 5));
+  const auto [mram, sram] = table.split(100, 5);
+  EXPECT_EQ(mram, 2);
+  EXPECT_EQ(sram, 3);
+}
+
+TEST(ClusterDp, ZeroDimensionsDegenerate) {
+  const ClusterItems items = {DpItem{1, 1.0, 4}, DpItem{1, 2.0, 4}};
+  const auto zero_k = ClusterDpTable::build(items, 5, 0);
+  for (int t = 0; t <= 5; ++t) EXPECT_DOUBLE_EQ(zero_k.energy(t, 0), 0.0);
+  const auto zero_t = ClusterDpTable::build(items, 0, 3);
+  EXPECT_TRUE(zero_t.feasible(0, 0));
+  EXPECT_FALSE(zero_t.feasible(0, 1));  // every block costs >= 1 step
+}
+
+TEST(MaxFeasibleBlocks, MatchesTheDpFrontier) {
+  const ClusterItems items = {DpItem{3, 1.0, 4}, DpItem{1, 5.0, 3}};
+  const int T = 20;
+  const int K = 10;
+  const auto table = ClusterDpTable::build(items, T, K);
+  for (int t = 0; t <= T; ++t) {
+    const int frontier = max_feasible_blocks(items, t, K);
+    for (int k = 0; k <= K; ++k) {
+      EXPECT_EQ(table.feasible(t, k), k <= frontier) << "t=" << t << " k=" << k;
+    }
+  }
+}
+
+TEST(MaxFeasibleBlocks, CapsAndBudget) {
+  const ClusterItems items = {DpItem{2, 1.0, 100}, DpItem{1, 5.0, 2}};
+  // 2 fast blocks (1 step each) + budget/2 slow blocks.
+  EXPECT_EQ(max_feasible_blocks(items, 10, 100), 2 + 4);
+  EXPECT_EQ(max_feasible_blocks(items, 0, 100), 0);
+  EXPECT_EQ(max_feasible_blocks(items, 10, 3), 3);  // clamped by k_max
+  const ClusterItems empty = {DpItem{1, 1.0, 0}, DpItem{1, 1.0, 0}};
+  EXPECT_EQ(max_feasible_blocks(empty, 100, 10), 0);
+}
+
 TEST(ClusterDp, InvalidArgumentsThrow) {
   const ClusterItems items = {DpItem{0, 1.0, 1}, DpItem{1, 1.0, 1}};
   EXPECT_THROW(ClusterDpTable::build(items, 10, 5), std::invalid_argument);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "nn/model.hpp"
 #include "placement/brute_force.hpp"
 
 namespace hhpim::placement {
@@ -137,6 +138,49 @@ TEST_F(LutTest, MatchesBruteForceOnCoarseGrid) {
       EXPECT_LE(dp, ref + block_margin) << e.t_constraint.to_string();
     }
   }
+}
+
+TEST_F(LutTest, WhollyInfeasibleTableClampsGracefully) {
+  // A slice so short that even the peak placement misses every entry: the
+  // paper's grey region covers the whole table. lookup() still floors,
+  // lookup_or_peak() reports the miss, peak_t_constraint() saturates.
+  const CostModel m = paper_model();
+  const auto lut = small_lut(m, 500000, Time::us(1.0));
+  for (const auto& e : lut.entries()) {
+    EXPECT_FALSE(e.feasible);
+    EXPECT_EQ(e.alloc.total(), 0u);
+  }
+  EXPECT_EQ(lut.lookup_or_peak(Time::us(0.5)), nullptr);
+  EXPECT_EQ(lut.peak_t_constraint(), Time::max());
+  EXPECT_FALSE(lut.lookup(Time::us(0.9)).feasible);
+}
+
+TEST_F(LutTest, ZeroCapacityEverywhereIsInfeasible) {
+  // Shapes with no storage at all: every entry infeasible, no crash.
+  const CostModel m = CostModel::build(PowerSpec::paper_45nm(), ClusterShape{4, 0, 0},
+                                       ClusterShape{4, 0, 0}, 10.0);
+  const auto lut = small_lut(m, 1000, Time::ms(1.0), 8, 8);
+  for (const auto& e : lut.entries()) EXPECT_FALSE(e.feasible);
+  EXPECT_EQ(lut.lookup_or_peak(Time::ms(1.0)), nullptr);
+}
+
+TEST_F(LutTest, SingleLayerModelBuildsAndAllocatesExactly) {
+  // A one-linear-layer model: weights far below one default block, so the
+  // LUT must cope with k_blocks greatly exceeding the weight count.
+  nn::Model tiny{"tiny", 1.0};
+  tiny.input({16, 1, 1});
+  tiny.linear("fc", 8);  // 128 weights
+  ASSERT_EQ(tiny.structural_params(), 128u);
+  const CostModel m = paper_model(tiny.uses_per_weight());
+  const auto lut = small_lut(m, tiny.effective_params(), Time::ms(5.0), 16, 64);
+  bool any_feasible = false;
+  for (const auto& e : lut.entries()) {
+    if (!e.feasible) continue;
+    any_feasible = true;
+    EXPECT_EQ(e.alloc.total(), 128u);
+    EXPECT_TRUE(fits(m, e.alloc));
+  }
+  EXPECT_TRUE(any_feasible);
 }
 
 TEST_F(LutTest, BadParamsThrow) {
