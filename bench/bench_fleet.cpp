@@ -1,0 +1,178 @@
+// Fleet-throughput perf baseline — produces BENCH_fleet.json.
+//
+// Self-contained (no google-benchmark): the artifact needs custom fields
+// (worker scaling, LUT fan-in economy, devices/s) and must build everywhere
+// the fleet does. Regenerate with:
+//
+//   ./build/bench/bench_fleet --out=BENCH_fleet.json
+//
+// (CI runs the same with --devices=256 --reps=1 and uploads the JSON per PR
+// next to the committed baseline, so the trajectory accumulates.)
+//
+// Two headline comparisons:
+//   * fleet/t1 vs fleet/t8 — the same 1,000-device fleet at 1 and 8 worker
+//     threads. `speedup_t8_vs_t1` is the worker-scaling criterion (≥ 2×, on
+//     a host with ≥ 2 cores; `hardware_threads` records what this host
+//     offered, and a 1-core container necessarily reports ~1×).
+//   * lut_shared/t1 vs lut_private/t1 — a small fleet with the shared LUT
+//     cache on vs off. Sharing makes per-device cost independent of the LUT
+//     build: `lut_sharing_speedup` is the fan-in economy that lets device
+//     counts scale into the thousands at all, on any core count.
+//
+// Fleet outputs are byte-identical across all of these (threads, sharing);
+// tests/test_fleet.cpp pins that — only wall-clock moves here.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/serialize.hpp"
+#include "fleet/simulator.hpp"
+#include "placement/lut_cache.hpp"
+
+using namespace hhpim;
+
+namespace {
+
+fleet::FleetSpec bench_spec(int devices, int slices, int lut) {
+  fleet::FleetSpec spec;
+  spec.name = "bench-fleet";
+  spec.devices = devices;
+  spec.slices = slices;
+  spec.config.lut_t_entries = lut;
+  spec.config.lut_k_blocks = lut;
+  return spec;
+}
+
+struct Measurement {
+  double wall_ms = 0.0;
+  std::uint64_t lut_builds = 0;
+  std::uint64_t lut_shared = 0;
+  std::uint64_t tasks = 0;
+};
+
+/// Best-of-`reps` wall clock for one fleet configuration. A fresh private
+/// cache per rep keeps reps identical (first-rep builds are part of the
+/// measurement, exactly like a real CLI invocation).
+Measurement run_fleet(const fleet::FleetSpec& spec, unsigned threads,
+                      bool share_luts, std::size_t shard_size, int reps) {
+  Measurement best;
+  for (int rep = 0; rep < reps; ++rep) {
+    placement::LutCache cache;
+    fleet::FleetOptions opts;
+    opts.threads = threads;
+    opts.share_luts = share_luts;
+    opts.lut_cache = &cache;
+    opts.shard_size = shard_size;
+    opts.keep_results = false;  // throughput, not result plumbing
+    const fleet::FleetSimulator sim{opts};
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const fleet::FleetResult r = sim.run(spec);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (rep == 0 || ms < best.wall_ms) {
+      best.wall_ms = ms;
+      best.lut_builds = r.lut_builds;
+      best.lut_shared = r.lut_shared;
+      best.tasks = r.aggregate.tasks;
+    }
+  }
+  return best;
+}
+
+void write_result(JsonWriter& w, const char* name, int devices, unsigned threads,
+                  bool share_luts, const Measurement& m) {
+  w.begin_object();
+  w.field("name", name);
+  w.field("devices", devices);
+  w.field("threads", static_cast<std::uint64_t>(threads));
+  w.field("lut_cache", share_luts);
+  w.field("wall_ms", m.wall_ms);
+  w.field("devices_per_s",
+          m.wall_ms > 0.0 ? static_cast<double>(devices) / (m.wall_ms * 1e-3) : 0.0);
+  w.field("per_device_ms", devices > 0 ? m.wall_ms / devices : 0.0);
+  w.field("lut_builds", m.lut_builds);
+  w.field("lut_shared", m.lut_shared);
+  w.field("tasks", m.tasks);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli{argc, argv};
+  const int devices = static_cast<int>(cli.get_int("devices", 1000));
+  const int slices = static_cast<int>(cli.get_int("slices", 10));
+  const int lut = static_cast<int>(cli.get_int("lut", 64));
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const std::size_t shard = static_cast<std::size_t>(cli.get_int("shard-size", 64));
+  // The uncached leg rebuilds one LUT per HH-PIM device; keep it small.
+  const int nocache_devices =
+      static_cast<int>(cli.get_int("nocache-devices", 24));
+  const std::string out_path = cli.get("out", "BENCH_fleet.json");
+
+  const fleet::FleetSpec spec = bench_spec(devices, slices, lut);
+  const fleet::FleetSpec small = bench_spec(nocache_devices, slices, lut);
+
+  std::printf("bench_fleet: %d devices x %d slices (lut %d, shard %zu, "
+              "best of %d)\n",
+              devices, slices, lut, shard, reps);
+
+  const Measurement t1 = run_fleet(spec, 1, true, shard, reps);
+  std::printf("  fleet/t1        : %8.1f ms  (%.0f devices/s)\n", t1.wall_ms,
+              devices / (t1.wall_ms * 1e-3));
+  const Measurement t8 = run_fleet(spec, 8, true, shard, reps);
+  std::printf("  fleet/t8        : %8.1f ms  (%.0f devices/s, %.2fx vs t1)\n",
+              t8.wall_ms, devices / (t8.wall_ms * 1e-3), t1.wall_ms / t8.wall_ms);
+
+  const Measurement shared = run_fleet(small, 1, true, shard, reps);
+  const Measurement priv = run_fleet(small, 1, false, shard, reps);
+  std::printf("  lut_shared/t1   : %8.1f ms  (%d devices, %llu builds)\n",
+              shared.wall_ms, nocache_devices,
+              static_cast<unsigned long long>(shared.lut_builds));
+  std::printf("  lut_private/t1  : %8.1f ms  (%d devices, private LUT each, "
+              "%.1fx slower)\n",
+              priv.wall_ms, nocache_devices, priv.wall_ms / shared.wall_ms);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  JsonWriter w{out};
+  w.begin_object();
+  w.field("bench", "fleet");
+  w.key("host");
+  w.begin_object();
+  w.field("hardware_threads", static_cast<std::uint64_t>(hw == 0 ? 1 : hw));
+  w.end_object();
+  w.key("config");
+  w.begin_object();
+  w.field("devices", devices);
+  w.field("slices", slices);
+  w.field("lut", lut);
+  w.field("shard_size", static_cast<std::uint64_t>(shard));
+  w.field("reps", reps);
+  w.field("nocache_devices", nocache_devices);
+  w.end_object();
+  w.key("results");
+  w.begin_array();
+  write_result(w, "fleet/t1", devices, 1, true, t1);
+  write_result(w, "fleet/t8", devices, 8, true, t8);
+  write_result(w, "lut_shared/t1", nocache_devices, 1, true, shared);
+  write_result(w, "lut_private/t1", nocache_devices, 1, false, priv);
+  w.end_array();
+  w.field("speedup_t8_vs_t1", t1.wall_ms / t8.wall_ms);
+  w.field("lut_sharing_speedup", priv.wall_ms / shared.wall_ms);
+  w.end_object();
+  out << '\n';
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -28,20 +28,6 @@
 
 using namespace hhpim;
 
-namespace {
-
-std::optional<workload::Scenario> scenario_by_name(const std::string& name) {
-  for (const auto s : workload::all_scenarios()) {
-    if (name == workload::to_string(s)) return s;
-  }
-  for (const auto s : workload::extended_scenarios()) {
-    if (name == workload::to_string(s)) return s;
-  }
-  return std::nullopt;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const Cli cli{argc, argv};
 
@@ -60,18 +46,13 @@ int main(int argc, char** argv) {
     spec.models = nn::zoo::paper_models();
   } else {
     for (const std::string& name : split(models_arg, ',')) {
-      bool found = false;
-      for (const auto& m : nn::zoo::paper_models()) {
-        if (m.name() == trim(name)) {
-          spec.models.push_back(m);
-          found = true;
-        }
-      }
-      if (!found) {
-        std::fprintf(stderr, "unknown model '%s' (known: EfficientNet-B0, "
-                             "MobileNetV2, ResNet-18)\n", name.c_str());
+      auto m = nn::zoo::find_model(trim(name));
+      if (!m.has_value()) {
+        std::fprintf(stderr, "unknown model '%s' (known: %s)\n", name.c_str(),
+                     nn::zoo::known_model_names().c_str());
         return 1;
       }
+      spec.models.push_back(std::move(*m));
     }
   }
 
@@ -89,7 +70,7 @@ int main(int argc, char** argv) {
   }
   if (kinds.empty()) {
     for (const std::string& name : split(scenarios_arg, ',')) {
-      const auto s = scenario_by_name(trim(name));
+      const auto s = workload::from_string(trim(name));
       if (!s.has_value()) {
         std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
         return 1;

@@ -40,6 +40,7 @@ std::string json_number(double v) {
 }
 
 void JsonWriter::newline_indent() {
+  if (style_ == Style::kCompact) return;
   os_ << '\n';
   for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
 }
@@ -113,7 +114,7 @@ void JsonWriter::key(std::string_view k) {
   if (!first_.back()) os_ << ',';
   first_.back() = false;
   newline_indent();
-  os_ << '"' << json_escape(k) << "\": ";
+  os_ << '"' << json_escape(k) << (style_ == Style::kCompact ? "\":" : "\": ");
   stack_.back() = Ctx::kObjectValue;
 }
 

@@ -32,9 +32,17 @@ namespace hhpim {
 ///
 /// The writer validates nesting via its context stack; misuse (e.g. a value
 /// in an object without a preceding key) throws std::logic_error.
+///
+/// Style::kCompact emits no whitespace at all — one value per line of
+/// output. This is what JSON Lines (JSONL) emitters use: the fleet
+/// simulator writes one compact object per device, '\n'-separated, so shard
+/// files can be streamed, diffed and concatenated line-wise.
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  enum class Style : std::uint8_t { kPretty, kCompact };
+
+  explicit JsonWriter(std::ostream& os, Style style = Style::kPretty)
+      : os_(os), style_(style) {}
 
   void begin_object();
   void end_object();
@@ -70,6 +78,7 @@ class JsonWriter {
   void newline_indent();
 
   std::ostream& os_;
+  Style style_ = Style::kPretty;
   std::vector<Ctx> stack_;
   std::vector<bool> first_;  // parallel to stack_: no comma yet at this level
   bool top_written_ = false;

@@ -1,0 +1,37 @@
+#include "energy/battery.hpp"
+
+#include <stdexcept>
+
+namespace hhpim::energy {
+
+Battery::Battery(const BatteryConfig& config)
+    : capacity_(config.capacity),
+      charge_(config.capacity * config.initial_soc) {
+  if (!(config.capacity > Energy::zero())) {
+    throw std::invalid_argument("Battery: capacity must be > 0");
+  }
+  if (config.initial_soc < 0.0 || config.initial_soc > 1.0) {
+    throw std::invalid_argument("Battery: initial_soc must be in [0, 1]");
+  }
+}
+
+Energy Battery::drain(Energy e) {
+  if (e < Energy::zero()) {
+    throw std::invalid_argument("Battery::drain: negative energy");
+  }
+  const Energy drained = e < charge_ ? e : charge_;
+  charge_ -= drained;
+  return drained;
+}
+
+void Battery::recharge(Energy e) {
+  if (e < Energy::zero()) {
+    throw std::invalid_argument("Battery::recharge: negative energy");
+  }
+  charge_ += e;
+  if (charge_ > capacity_) charge_ = capacity_;
+}
+
+double Battery::soc() const { return charge_ / capacity_; }
+
+}  // namespace hhpim::energy

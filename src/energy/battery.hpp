@@ -1,0 +1,62 @@
+// Per-device battery / energy-budget model for fleet simulation.
+//
+// A Battery is a finite energy reservoir drained by the joules a device's
+// EnergyLedger accounts per slice. It is deliberately simple — no voltage
+// curve, no temperature, no self-discharge — because the fleet layer only
+// needs the quantity the paper's dynamic-optimization loop reacts to: the
+// state of charge (SoC) that drives placement-mode adaptation
+// (fleet::AdaptivePolicy).
+//
+// Units follow common/units.hpp (Energy is picojoules internally); all
+// methods are O(1); instances are not thread-safe (one per device, devices
+// are simulated on a single worker thread each).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace hhpim::energy {
+
+struct BatteryConfig {
+  /// Usable capacity. Must be > 0 (Battery's constructor throws otherwise).
+  /// The default sustains roughly one 20-slice HH-PIM run of a Table IV
+  /// model (slice energies are single-digit millijoules), so battery
+  /// dynamics — threshold crossings, exhaustion — show up at default specs.
+  Energy capacity = Energy::mj(250.0);
+  /// Initial state of charge in [0, 1] (1 = full). Out-of-range throws.
+  double initial_soc = 1.0;
+};
+
+/// Finite energy reservoir with clamped draining.
+///
+/// drain() never takes the charge below zero: the final drain is truncated
+/// to the remaining charge and the battery reports exhausted() from then on.
+/// The fleet layer uses the truncation to detect "battery died mid-slice"
+/// (requested > drained).
+class Battery {
+ public:
+  /// Throws std::invalid_argument unless capacity > 0 and
+  /// initial_soc in [0, 1].
+  explicit Battery(const BatteryConfig& config);
+
+  /// Removes up to `e` from the charge; returns the energy actually drained
+  /// (== e unless the battery ran out mid-way). `e` must be >= 0 (throws).
+  Energy drain(Energy e);
+
+  /// Adds `e` back (e.g. an energy-harvesting scenario), clamped to
+  /// capacity. `e` must be >= 0 (throws). Clears exhausted() if it raises
+  /// the charge above zero.
+  void recharge(Energy e);
+
+  /// State of charge in [0, 1].
+  [[nodiscard]] double soc() const;
+  [[nodiscard]] Energy charge() const { return charge_; }
+  [[nodiscard]] Energy capacity() const { return capacity_; }
+  /// True once the charge reached zero (and recharge() has not raised it).
+  [[nodiscard]] bool exhausted() const { return charge_ == Energy::zero(); }
+
+ private:
+  Energy capacity_;
+  Energy charge_;
+};
+
+}  // namespace hhpim::energy

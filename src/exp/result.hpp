@@ -3,6 +3,11 @@
 // A ResultSet holds one RunResult per RunSpec, in grid (index) order — never
 // completion order — so serializing the same spec twice yields byte-identical
 // output whatever the runner's thread count was.
+//
+// Units follow the field suffixes throughout: *_ps are integer picoseconds,
+// *_pj are double picojoules (the common/units.hpp conventions). A ResultSet
+// is immutable in practice (the runner returns it fully built); const access
+// from multiple threads is safe, mutation is not synchronized.
 #pragma once
 
 #include <cstdint>
@@ -63,11 +68,12 @@ class ResultSet {
   [[nodiscard]] std::size_t size() const { return runs_.size(); }
 
   /// The run matching (arch, model, scenario[, variant]); throws
-  /// std::out_of_range if absent or ambiguous-free lookup fails.
+  /// std::out_of_range if absent. Linear scan — O(size()); fine for paper
+  /// grids (dozens of runs), use runs()[index] when the grid index is known.
   [[nodiscard]] const RunResult& at(const std::string& arch, const std::string& model,
                                     const std::string& scenario,
                                     const std::string& variant = "") const;
-  /// Like at(), but returns nullptr when absent.
+  /// Like at(), but returns nullptr when absent. O(size()).
   [[nodiscard]] const RunResult* find(const std::string& arch, const std::string& model,
                                       const std::string& scenario,
                                       const std::string& variant = "") const;

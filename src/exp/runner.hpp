@@ -8,6 +8,16 @@
 // into a pre-sized vector at the run's grid index. Results are therefore
 // bit-identical regardless of thread count or completion order; only
 // wall-clock changes.
+//
+// Thread safety: a Runner is immutable after construction — run()/run_all()
+// may be called concurrently from multiple threads (each call spins up its
+// own pool). The LutCache the options name must itself be thread-safe
+// (placement::LutCache is) and outlive every call that uses it.
+//
+// Cost: one Processor construction + scenario execution per run —
+// O(runs · slices · tasks/slice) simulation work; for HH-PIM runs the LUT
+// build (O(t_entries · k_blocks) DP entries) dominates construction unless
+// served by the cache.
 #pragma once
 
 #include <vector>

@@ -81,15 +81,22 @@ struct ExperimentSpec {
   /// models × Fig. 4 scenarios.
   [[nodiscard]] static ExperimentSpec paper_grid(workload::ScenarioConfig wc = {});
 
+  /// Grid cardinality (variants × archs × models × scenarios). O(1).
   [[nodiscard]] std::size_t run_count() const;
 
   /// Flattens the grid. Throws std::invalid_argument on an empty axis or a
-  /// scenario that fails to generate.
+  /// scenario that fails to generate. Single-threaded and side-effect free
+  /// (const; safe to call concurrently); each RunSpec carries a full copy
+  /// of its model and loads, so the spec may be destroyed afterwards.
+  /// O(run_count · (|model| + slices)) time and memory — for very large
+  /// device populations use fleet::FleetSpec, which defers trace
+  /// materialization to the workers.
   [[nodiscard]] std::vector<RunSpec> expand() const;
 };
 
 /// Deterministic seed mixing (SplitMix64 over the concatenated inputs);
-/// exposed for tests.
+/// exposed for tests. Pure function — equal inputs give the equal output on
+/// every host, which is what makes per-run seeds reproducible.
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
                                         std::uint64_t b);
 

@@ -1,0 +1,101 @@
+#include "fleet/device.hpp"
+
+#include <algorithm>
+
+#include "fleet/aggregate.hpp"
+#include "hhpim/scheduler.hpp"
+
+namespace hhpim::fleet {
+
+namespace {
+
+sys::SystemConfig device_config(const FleetSpec& fleet,
+                                placement::LutCache* lut_cache) {
+  sys::SystemConfig c = fleet.config;
+  // The spec's own lut_cache is rejected by FleetSpec::validate(); the
+  // simulator's resolved cache (may be null = private builds) is the only
+  // one devices ever see, so its stats delta covers every build.
+  c.lut_cache = lut_cache;
+  return c;
+}
+
+}  // namespace
+
+Device::Device(const FleetSpec& fleet, const DeviceSpec& spec,
+               const nn::Model& model, placement::LutCache* lut_cache)
+    : fleet_(fleet),
+      spec_(spec),
+      model_(model),
+      proc_(device_config(fleet, lut_cache), model),
+      battery_(fleet.battery),
+      policy_(fleet.thresholds),
+      low_power_alloc_(fleet.adapt
+                           ? sys::balanced_mram_split(proc_.cost_model(),
+                                                      proc_.total_weights())
+                           : placement::Allocation{}) {}
+
+DeviceResult Device::run(FleetAggregate* agg) {
+  const std::vector<int> loads = device_loads(spec_);
+  const Time slice = proc_.slice_length();
+
+  DeviceResult r;
+  r.id = spec_.id;
+  r.model = model_.name();
+  r.scenario = workload::to_string(spec_.scenario);
+  r.seed = spec_.seed;
+  r.slice_ps = slice.as_ps();
+  r.slices_total = static_cast<int>(loads.size()) + 1;  // + drain slice
+  r.battery_capacity_pj = battery_.capacity().as_pj();
+
+  int buffered = 0;
+  for (std::size_t k = 0; k <= loads.size(); ++k) {
+    const int arriving = k < loads.size() ? loads[k] : 0;
+
+    DeviceMode mode = DeviceMode::kDynamic;
+    if (fleet_.adapt) {
+      mode = policy_.update(battery_.soc());
+      if (mode == DeviceMode::kLowPower && !proc_.placement_override_active()) {
+        proc_.set_placement_override(low_power_alloc_);
+      } else if (mode == DeviceMode::kDynamic && proc_.placement_override_active()) {
+        proc_.set_placement_override(std::nullopt);
+      }
+    }
+
+    const sys::SliceStats s = proc_.run_slice(buffered);
+    const Energy requested = s.energy;
+    const Energy drained = battery_.drain(requested);
+
+    ++r.slices_executed;
+    r.tasks += static_cast<std::uint64_t>(s.tasks_executed);
+    r.deadline_violations += s.deadline_violated ? 1 : 0;
+    r.energy_pj += drained.as_pj();
+    r.busy_time_ps += s.busy_time.as_ps();
+    r.max_busy_ps = std::max(r.max_busy_ps, s.busy_time.as_ps());
+    r.movement_time_ps += s.movement_time.as_ps();
+    if (mode == DeviceMode::kLowPower) ++r.low_power_slices;
+    if (agg != nullptr) {
+      agg->add_slice(s.busy_time / slice, s.busy_time.as_us(), s.energy.as_mj());
+    }
+
+    if (drained < requested) {
+      // The battery died during this slice: the slice's work happened (the
+      // device browns out at the boundary, not instantaneously), but nothing
+      // after it runs. Arrivals still in flight are dropped.
+      r.exhausted_at_slice = s.slice;
+      std::uint64_t dropped = static_cast<std::uint64_t>(arriving);
+      for (std::size_t j = k + 1; j < loads.size(); ++j) {
+        dropped += static_cast<std::uint64_t>(loads[j]);
+      }
+      r.tasks_dropped = dropped;
+      break;
+    }
+    buffered = arriving;
+  }
+
+  r.mode_switches = policy_.switches();
+  r.final_soc = battery_.soc();
+  if (agg != nullptr) agg->add_device(r);
+  return r;
+}
+
+}  // namespace hhpim::fleet

@@ -1,0 +1,95 @@
+// One simulated edge device: a sys::Processor + energy::Battery +
+// fleet::AdaptivePolicy executing its per-device request stream.
+//
+// The device runs the slice protocol of sys::Processor::run_scenario
+// (arrivals in slice k execute in slice k+1, one trailing drain slice), but
+// drives it slice by slice so the battery and the adaptation loop sit in
+// the middle:
+//
+//   per slice boundary:
+//     1. observe battery SoC -> AdaptivePolicy::update
+//     2. kLowPower  -> Processor::set_placement_override(MRAM-balanced)
+//        kDynamic   -> clear the override (HH-PIM LUT placement resumes)
+//     3. run the slice, drain the slice's energy from the battery
+//     4. battery hit zero mid-slice -> record exhaustion, stop; arrivals
+//        that never executed are counted as dropped
+//
+// Devices are strictly single-threaded and share no mutable state; the only
+// cross-device object is the placement::LutCache (immutable entries), which
+// is what makes a fleet of thousands cheap: devices with the same model and
+// arch resolve to the same LUT build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "energy/battery.hpp"
+#include "fleet/policy.hpp"
+#include "fleet/spec.hpp"
+#include "hhpim/processor.hpp"
+#include "nn/model.hpp"
+
+namespace hhpim::placement {
+class LutCache;  // placement/lut_cache.hpp — only a pointer is passed through
+}
+
+namespace hhpim::fleet {
+
+class FleetAggregate;  // fleet/aggregate.hpp
+
+/// Everything one device run produces; one JSONL line each (the schema is
+/// documented in docs/FLEET.md). Times are picoseconds, energies picojoules
+/// (matching exp::RunResult); SoC is in [0, 1].
+struct DeviceResult {
+  std::uint32_t id = 0;
+  std::string model;
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::int64_t slice_ps = 0;           ///< the device's slice length T
+
+  int slices_total = 0;                ///< planned slices incl. the drain slice
+  int slices_executed = 0;             ///< actually run (< total if exhausted)
+  std::uint64_t tasks = 0;
+  std::uint64_t tasks_dropped = 0;     ///< arrived but never executed
+  std::uint64_t deadline_violations = 0;
+
+  double energy_pj = 0.0;              ///< total drained from the battery
+  double battery_capacity_pj = 0.0;
+  double final_soc = 0.0;
+  int exhausted_at_slice = -1;         ///< slice whose drain hit zero; -1 = never
+
+  std::uint32_t mode_switches = 0;
+  int low_power_slices = 0;            ///< slices run under the pinned placement
+
+  std::int64_t busy_time_ps = 0;       ///< sum of per-slice busy times
+  std::int64_t max_busy_ps = 0;        ///< worst slice
+  std::int64_t movement_time_ps = 0;   ///< sum of per-slice movement overheads
+};
+
+class Device {
+ public:
+  /// `model` must be fleet.resolved_models()[spec.model_index] (the caller
+  /// resolves once per run, not once per device); `lut_cache` may be null
+  /// (private LUT build). The Processor is constructed here — with a cache,
+  /// construction is cheap for every device after the first per model.
+  Device(const FleetSpec& fleet, const DeviceSpec& spec, const nn::Model& model,
+         placement::LutCache* lut_cache);
+
+  /// Executes the device's whole stream. Per-slice samples are accumulated
+  /// into `agg` (may be null). Call once.
+  DeviceResult run(FleetAggregate* agg);
+
+  [[nodiscard]] const sys::Processor& processor() const { return proc_; }
+  [[nodiscard]] const energy::Battery& battery() const { return battery_; }
+
+ private:
+  const FleetSpec& fleet_;
+  const DeviceSpec& spec_;
+  const nn::Model& model_;
+  sys::Processor proc_;
+  energy::Battery battery_;
+  AdaptivePolicy policy_;
+  placement::Allocation low_power_alloc_;
+};
+
+}  // namespace hhpim::fleet

@@ -1,0 +1,35 @@
+#include "fleet/policy.hpp"
+
+#include <stdexcept>
+
+namespace hhpim::fleet {
+
+const char* to_string(DeviceMode m) {
+  switch (m) {
+    case DeviceMode::kDynamic: return "dynamic";
+    case DeviceMode::kLowPower: return "low-power";
+  }
+  return "?";
+}
+
+AdaptivePolicy::AdaptivePolicy(AdaptiveThresholds thresholds)
+    : thresholds_(thresholds) {
+  if (thresholds.low_soc < 0.0 || thresholds.high_soc > 1.0 ||
+      thresholds.low_soc > thresholds.high_soc) {
+    throw std::invalid_argument(
+        "AdaptivePolicy: need 0 <= low_soc <= high_soc <= 1");
+  }
+}
+
+DeviceMode AdaptivePolicy::update(double soc) {
+  if (mode_ == DeviceMode::kDynamic && soc <= thresholds_.low_soc) {
+    mode_ = DeviceMode::kLowPower;
+    ++switches_;
+  } else if (mode_ == DeviceMode::kLowPower && soc >= thresholds_.high_soc) {
+    mode_ = DeviceMode::kDynamic;
+    ++switches_;
+  }
+  return mode_;
+}
+
+}  // namespace hhpim::fleet

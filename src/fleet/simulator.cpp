@@ -1,0 +1,239 @@
+#include "fleet/simulator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/serialize.hpp"
+#include "placement/lut_cache.hpp"
+
+namespace hhpim::fleet {
+
+FleetSimulator::FleetSimulator(FleetOptions options) : options_(options) {
+  if (options_.shard_size == 0) options_.shard_size = 1;
+}
+
+unsigned FleetSimulator::resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+placement::LutCache* FleetSimulator::resolve_lut_cache() const {
+  if (!options_.share_luts) return nullptr;
+  return options_.lut_cache != nullptr ? options_.lut_cache
+                                       : &placement::LutCache::process_cache();
+}
+
+void write_device_line(std::ostream& os, const DeviceResult& r) {
+  JsonWriter w{os, JsonWriter::Style::kCompact};
+  w.begin_object();
+  w.field("device", static_cast<std::uint64_t>(r.id));
+  w.field("model", r.model);
+  w.field("scenario", r.scenario);
+  w.field("seed", r.seed);
+  w.field("slice_ps", r.slice_ps);
+  w.field("slices_total", r.slices_total);
+  w.field("slices_executed", r.slices_executed);
+  w.field("tasks", r.tasks);
+  w.field("tasks_dropped", r.tasks_dropped);
+  w.field("deadline_violations", r.deadline_violations);
+  w.field("energy_pj", r.energy_pj);
+  w.field("battery_capacity_pj", r.battery_capacity_pj);
+  w.field("final_soc", r.final_soc);
+  w.field("exhausted_at_slice", r.exhausted_at_slice);
+  w.field("mode_switches", static_cast<std::uint64_t>(r.mode_switches));
+  w.field("low_power_slices", r.low_power_slices);
+  w.field("busy_time_ps", r.busy_time_ps);
+  w.field("max_busy_ps", r.max_busy_ps);
+  w.field("movement_time_ps", r.movement_time_ps);
+  w.end_object();
+  os << '\n';
+}
+
+void FleetResult::write_jsonl(std::ostream& os) const {
+  for (const DeviceResult& r : devices) write_device_line(os, r);
+}
+
+std::string FleetResult::to_jsonl() const {
+  std::ostringstream os;
+  write_jsonl(os);
+  return os.str();
+}
+
+namespace {
+
+void write_summary_stats(JsonWriter& w, const sim::Summary& s) {
+  w.begin_object();
+  w.field("count", s.count());
+  w.field("mean", s.mean());
+  w.field("min", s.min());
+  w.field("max", s.max());
+  w.field("stddev", s.stddev());
+  w.end_object();
+}
+
+void write_quantiles(JsonWriter& w, const sim::Histogram& h) {
+  w.begin_object();
+  w.field("p50", h.quantile(0.50));
+  w.field("p95", h.quantile(0.95));
+  w.field("p99", h.quantile(0.99));
+  w.field("samples", h.total());
+  w.field("overflow", h.overflow());
+  w.end_object();
+}
+
+}  // namespace
+
+void FleetResult::write_summary_json(std::ostream& os) const {
+  JsonWriter w{os};
+  w.begin_object();
+  w.field("fleet", fleet_name);
+  w.field("devices", aggregate.devices);
+  w.field("shards", static_cast<std::uint64_t>(shard_count));
+  w.field("shard_size", static_cast<std::uint64_t>(shard_size));
+  w.field("executed_slices", aggregate.executed_slices);
+  w.field("tasks", aggregate.tasks);
+  w.field("tasks_dropped", aggregate.tasks_dropped);
+  w.field("deadline_violations", aggregate.deadline_violations);
+  w.field("exhausted_devices", aggregate.exhausted_devices);
+  w.field("mode_switches", aggregate.mode_switches);
+  w.field("low_power_slices", aggregate.low_power_slices);
+  w.field("lut_builds", lut_builds);
+  w.field("lut_shared", lut_shared);
+  w.key("device_energy_mj");
+  write_summary_stats(w, aggregate.device_energy_mj);
+  w.key("final_soc");
+  write_summary_stats(w, aggregate.final_soc);
+  w.key("busy_us");
+  write_summary_stats(w, aggregate.busy_us);
+  w.key("busy_frac");
+  write_quantiles(w, aggregate.busy_frac_hist());
+  w.key("slice_energy_mj");
+  write_quantiles(w, aggregate.slice_energy_hist());
+  w.end_object();
+  os << '\n';
+}
+
+std::string FleetResult::summary_to_json() const {
+  std::ostringstream os;
+  write_summary_json(os);
+  return os.str();
+}
+
+namespace {
+
+std::string shard_path(const std::string& dir, std::size_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof name, "shard-%05zu.jsonl", shard);
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+FleetResult FleetSimulator::run(const FleetSpec& spec) const {
+  const std::vector<DeviceSpec> device_specs = spec.expand();
+  const std::vector<nn::Model> models = spec.resolved_models();
+  placement::LutCache* const cache = resolve_lut_cache();
+  const placement::LutCache::Stats stats_before =
+      cache != nullptr ? cache->stats() : placement::LutCache::Stats{};
+
+  const std::size_t n = device_specs.size();
+  const std::size_t shard_size = options_.shard_size;
+  const std::size_t shards = n == 0 ? 0 : (n + shard_size - 1) / shard_size;
+
+  FleetResult result{.fleet_name = spec.name,
+                     .devices = {},
+                     .aggregate = FleetAggregate{spec.histograms},
+                     .shard_count = shards,
+                     .shard_size = shard_size};
+  if (options_.keep_results) result.devices.resize(n);
+
+  std::vector<FleetAggregate> shard_aggs(shards,
+                                         FleetAggregate{spec.histograms});
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<std::size_t> next{0};
+
+  auto run_shard = [&](std::size_t s) {
+    const std::size_t begin = s * shard_size;
+    const std::size_t end = std::min(n, begin + shard_size);
+    FleetAggregate agg{spec.histograms};
+    std::vector<DeviceResult> local;
+    const bool stream = !options_.shard_dir.empty();
+    if (stream && !options_.keep_results) local.reserve(end - begin);
+
+    for (std::size_t i = begin; i < end; ++i) {
+      const DeviceSpec& ds = device_specs[i];
+      Device dev{spec, ds, models[ds.model_index], cache};
+      DeviceResult r = dev.run(&agg);
+      if (options_.keep_results) {
+        result.devices[i] = std::move(r);
+      } else if (stream) {
+        local.push_back(std::move(r));
+      }
+    }
+
+    if (stream) {
+      const std::string path = shard_path(options_.shard_dir, s);
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("fleet: cannot open " + path);
+      if (options_.keep_results) {
+        for (std::size_t i = begin; i < end; ++i) {
+          write_device_line(out, result.devices[i]);
+        }
+      } else {
+        for (const DeviceResult& r : local) write_device_line(out, r);
+      }
+      if (!out) throw std::runtime_error("fleet: write failed for " + path);
+    }
+    shard_aggs[s] = std::move(agg);
+  };
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= shards) return;
+      try {
+        run_shard(s);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const unsigned workers = std::min<unsigned>(
+      resolve_threads(options_.threads),
+      static_cast<unsigned>(std::max<std::size_t>(shards, 1)));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Merge in shard-index order: Summary merges are order-sensitive in the
+  // last floating-point bit, so a fixed order keeps output byte-identical
+  // at any thread count.
+  for (const FleetAggregate& agg : shard_aggs) result.aggregate.merge(agg);
+
+  if (cache != nullptr) {
+    const placement::LutCache::Stats after = cache->stats();
+    result.lut_builds = after.misses - stats_before.misses;
+    result.lut_shared = after.hits - stats_before.hits;
+  }
+  return result;
+}
+
+}  // namespace hhpim::fleet

@@ -1,0 +1,109 @@
+// The streaming fleet simulator: N independent devices sharded across a
+// fixed worker pool.
+//
+// Execution model (mirrors exp::Runner, at shard granularity):
+//
+//   * expand() derives DeviceSpecs single-threaded; devices are grouped
+//     into fixed-size shards (FleetOptions::shard_size). Shard boundaries
+//     depend only on the spec and options — never on the thread count.
+//   * Workers claim the next shard index from a shared atomic counter, run
+//     each device of the shard (its own Processor + Battery + policy), and
+//     accumulate one FleetAggregate per shard.
+//   * When FleetOptions::shard_dir is set, each worker streams its shard's
+//     device lines to <dir>/shard-NNNNN.jsonl as the shard completes — a
+//     fleet of millions never holds all results in memory
+//     (keep_results = false drops them after the shard file is written).
+//   * After the pool joins, shard aggregates merge in shard-index order.
+//
+// Determinism: device results depend only on the DeviceSpec (loads are
+// generated from its scenario config; the only shared object is the
+// placement::LutCache, whose entries are immutable), shard contents depend
+// only on shard index, and the merge order is fixed — so JSONL shards,
+// to_jsonl() and summary_to_json() are byte-identical at any thread count.
+// tests/test_fleet.cpp pins this at 1 vs 8 threads.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fleet/aggregate.hpp"
+#include "fleet/device.hpp"
+#include "fleet/spec.hpp"
+
+namespace hhpim::placement {
+class LutCache;  // placement/lut_cache.hpp — only a pointer is stored here
+}
+
+namespace hhpim::fleet {
+
+struct FleetOptions {
+  /// Worker threads. 0 = one per hardware thread (min 1); 1 = run inline.
+  unsigned threads = 0;
+  /// Devices per shard: the unit of work claiming, JSONL file granularity
+  /// and aggregate merging. Smaller shards balance load better; larger
+  /// shards mean fewer files. Must be >= 1 (clamped).
+  std::size_t shard_size = 256;
+  /// Share placement LUTs across devices (devices with the same model/arch
+  /// resolve to one build). Results are byte-identical with sharing on or
+  /// off; only wall-clock changes.
+  bool share_luts = true;
+  /// Cache used when `share_luts` (not owned; must outlive the run).
+  /// nullptr = the process-wide placement::LutCache::process_cache().
+  placement::LutCache* lut_cache = nullptr;
+  /// When non-empty: write <shard_dir>/shard-NNNNN.jsonl while the run
+  /// progresses (the directory must exist; open/write failures are
+  /// reported as std::runtime_error after all shards finish).
+  std::string shard_dir;
+  /// Retain per-device results in FleetResult::devices. Turn off for very
+  /// large fleets streamed to shard files — aggregates are kept either way.
+  bool keep_results = true;
+};
+
+struct FleetResult {
+  std::string fleet_name;
+  /// Per-device results in device-id order (empty when !keep_results).
+  std::vector<DeviceResult> devices;
+  FleetAggregate aggregate;
+  std::size_t shard_count = 0;
+  std::size_t shard_size = 0;
+  /// LUT-cache activity attributable to this run (stats delta): `builds`
+  /// counts LUTs actually constructed, `shared` the device constructions
+  /// served from cache. builds ≪ devices is the fleet's whole economy.
+  std::uint64_t lut_builds = 0;
+  std::uint64_t lut_shared = 0;
+
+  /// One compact JSON object per device, '\n'-separated (JSON Lines).
+  /// Byte-identical to the concatenation of the run's shard files.
+  void write_jsonl(std::ostream& os) const;
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Fleet-wide aggregate metrics (counters, energy/SoC summaries,
+  /// p50/p95/p99 of slice busy fraction and per-slice energy).
+  void write_summary_json(std::ostream& os) const;
+  [[nodiscard]] std::string summary_to_json() const;
+};
+
+/// Writes one device's compact JSONL line (shared by shard streaming and
+/// FleetResult::write_jsonl so the bytes agree). Appends '\n'.
+void write_device_line(std::ostream& os, const DeviceResult& r);
+
+class FleetSimulator {
+ public:
+  explicit FleetSimulator(FleetOptions options = {});
+
+  /// Expands and executes the fleet. Propagates the first device/shard
+  /// exception (other shards still complete).
+  [[nodiscard]] FleetResult run(const FleetSpec& spec) const;
+
+  [[nodiscard]] const FleetOptions& options() const { return options_; }
+  /// The cache this run will use (nullptr when sharing is off).
+  [[nodiscard]] placement::LutCache* resolve_lut_cache() const;
+  [[nodiscard]] static unsigned resolve_threads(unsigned requested);
+
+ private:
+  FleetOptions options_;
+};
+
+}  // namespace hhpim::fleet

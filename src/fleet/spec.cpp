@@ -1,0 +1,107 @@
+#include "fleet/spec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "hhpim/scheduler.hpp"
+#include "nn/zoo.hpp"
+
+namespace hhpim::fleet {
+
+std::vector<nn::Model> FleetSpec::resolved_models() const {
+  return models.empty() ? nn::zoo::paper_models() : models;
+}
+
+std::vector<workload::Scenario> FleetSpec::resolved_mix() const {
+  if (!mix.empty()) return mix;
+  return {workload::Scenario::kPulsing, workload::Scenario::kRandom,
+          workload::Scenario::kPoisson, workload::Scenario::kBurstDecay};
+}
+
+void FleetSpec::validate() const {
+  if (devices < 0) throw std::invalid_argument("FleetSpec: devices must be >= 0");
+  if (slices <= 0) throw std::invalid_argument("FleetSpec: slices must be > 0");
+  for (const workload::Scenario s : resolved_mix()) {
+    if (s == workload::Scenario::kTrace) {
+      // A fleet draws per-device streams from generators; replaying one
+      // fixed trace on every device defeats the jitter. Use a generator
+      // shape, or feed the trace through FleetSpec::workload.trace as a
+      // custom generator if that ever becomes a need.
+      throw std::invalid_argument("FleetSpec: trace-replay cannot be a mix entry");
+    }
+  }
+  if (config.lut_cache != nullptr) {
+    // The cache is an execution concern: FleetOptions names it (and the
+    // simulator's lut_builds/lut_shared stats are measured on it). A cache
+    // smuggled in through the SystemConfig would bypass share_luts and
+    // silently skew those stats.
+    throw std::invalid_argument(
+        "FleetSpec: set the LUT cache via FleetOptions::lut_cache, "
+        "not SystemConfig::lut_cache");
+  }
+  if (adapt && (config.arch.kind != sys::ArchKind::kHhpim ||
+                config.arch.mram_kb_per_module == 0)) {
+    throw std::invalid_argument(
+        "FleetSpec: adaptation needs the HH-PIM arch with MRAM "
+        "(set adapt = false for static architectures)");
+  }
+  if (adapt) {
+    // The low-power mode pins balanced_mram_split — reject models whose
+    // split does not fit the MRAM capacities here, not from the first
+    // worker thread whose device's SoC crosses the threshold mid-run.
+    const energy::PowerSpec power = sys::resolved_power_spec(config);
+    for (const nn::Model& m : resolved_models()) {
+      const placement::CostModel cost = placement::CostModel::build(
+          power, config.arch.hp_shape(), config.arch.lp_shape(),
+          m.uses_per_weight());
+      if (!placement::fits(
+              cost, sys::balanced_mram_split(cost, m.effective_params()))) {
+        throw std::invalid_argument(
+            "FleetSpec: low-power MRAM placement does not fit model '" +
+            m.name() + "' (grow mram_kb_per_module or set adapt = false)");
+      }
+    }
+  }
+  // Constructor-level validation, surfaced early and once rather than from
+  // the first worker thread mid-run.
+  (void)energy::Battery{battery};
+  (void)AdaptivePolicy{thresholds};
+}
+
+std::vector<DeviceSpec> FleetSpec::expand() const {
+  validate();
+  const std::size_t n_models = resolved_models().size();
+  const std::vector<workload::Scenario> shapes = resolved_mix();
+
+  std::vector<DeviceSpec> specs;
+  specs.reserve(static_cast<std::size_t>(devices));
+  for (int d = 0; d < devices; ++d) {
+    // One SplitMix64 stream per device, keyed on (fleet seed, device id):
+    // the draws below are independent of every other device's.
+    SplitMix64 sm{seed ^ (0xf1ee7u + static_cast<std::uint64_t>(d) *
+                                         0x9e3779b97f4a7c15ULL)};
+    DeviceSpec s;
+    s.id = static_cast<std::uint32_t>(d);
+    s.model_index = static_cast<std::size_t>(sm.next() % n_models);
+    s.scenario = shapes[sm.next() % shapes.size()];
+    s.cfg = workload;
+    s.cfg.slices = slices;
+    s.cfg.seed = sm.next();
+    s.seed = s.cfg.seed;
+    s.phase = static_cast<int>(sm.next() % static_cast<std::uint64_t>(slices));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+std::vector<int> device_loads(const DeviceSpec& spec) {
+  std::vector<int> loads = workload::generate(spec.scenario, spec.cfg);
+  const auto phase = static_cast<std::size_t>(spec.phase) % loads.size();
+  std::rotate(loads.begin(),
+              loads.begin() + static_cast<std::vector<int>::difference_type>(phase),
+              loads.end());
+  return loads;
+}
+
+}  // namespace hhpim::fleet

@@ -1,0 +1,103 @@
+// Declarative fleet descriptions.
+//
+// A FleetSpec describes N independent simulated edge devices in one object:
+// the model population, the scenario mix each device draws its request
+// stream from, the shared SystemConfig, the battery, and the adaptation
+// thresholds. expand() derives one DeviceSpec per device — deterministic,
+// single-threaded, and cheap (loads are *not* materialized here; each worker
+// generates its device's trace from the DeviceSpec's scenario config, which
+// fully determines it).
+//
+// Per-device diversity comes from three seeded draws per device (model
+// index, scenario kind, phase) plus a per-device scenario seed, all derived
+// from FleetSpec::seed with common/rng.hpp SplitMix64 — so the same spec
+// expands to byte-identical DeviceSpecs on every host and at every thread
+// count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/battery.hpp"
+#include "fleet/policy.hpp"
+#include "hhpim/processor.hpp"
+#include "nn/model.hpp"
+#include "workload/scenario.hpp"
+
+namespace hhpim::fleet {
+
+/// Bin layout of the fleet-wide aggregate histograms (see aggregate.hpp).
+/// Part of the spec because shards can only merge histograms of identical
+/// shape; the shape must therefore be fixed before the run starts.
+struct AggregateShape {
+  /// Slice busy time as a fraction of the slice length T; values at or
+  /// above `busy_frac_max` land in the overflow bin (reported separately).
+  double busy_frac_max = 2.0;
+  std::size_t busy_frac_bins = 200;
+  /// Per-slice energy in millijoules (Table IV models on HH-PIM charge
+  /// single-digit mJ per slice; see BENCH_fleet.json for measured spreads).
+  double slice_energy_mj_max = 60.0;
+  std::size_t slice_energy_bins = 256;
+};
+
+/// Everything one worker needs to simulate one device (plus the FleetSpec
+/// it came from). Loads are generated on demand: workload::generate(kind,
+/// cfg) rotated left by `phase` slices — the per-device jitter.
+struct DeviceSpec {
+  std::uint32_t id = 0;
+  std::size_t model_index = 0;       ///< into FleetSpec::resolved_models()
+  workload::Scenario scenario = workload::Scenario::kLowConstant;
+  workload::ScenarioConfig cfg;      ///< per-device seed already applied
+  int phase = 0;                     ///< left rotation of the load trace
+  std::uint64_t seed = 0;            ///< effective per-device seed (echo)
+};
+
+struct FleetSpec {
+  std::string name = "fleet";
+  /// Device count; 0 is allowed (an empty fleet expands to no devices and
+  /// simulates to empty results — useful for pipeline plumbing tests).
+  int devices = 1000;
+  /// Time slices per device run (the drain slice is added on top).
+  int slices = 20;
+  /// Model population; empty = nn::zoo::paper_models(). Devices draw
+  /// uniformly — devices sharing a model also share one cached placement
+  /// LUT (placement::LutCache), the fan-in that makes fleet runs cheap.
+  std::vector<nn::Model> models;
+  /// Scenario mix devices draw from; empty = a default dynamic mix
+  /// {pulsing, random, poisson, burst-decay}.
+  std::vector<workload::Scenario> mix;
+  /// Base scenario shape (low/high, spike periods, ...). `slices` and
+  /// `seed` are overridden per device.
+  workload::ScenarioConfig workload;
+  /// Shared system configuration. The arch must be HH-PIM with MRAM when
+  /// `adapt` is on (the adaptation pins an MRAM placement); `lut_cache`
+  /// must stay null — the simulator supplies it (FleetOptions::lut_cache;
+  /// validate() rejects a preset cache).
+  sys::SystemConfig config;
+  energy::BatteryConfig battery;
+  AdaptiveThresholds thresholds;
+  /// Battery-driven mode adaptation (fleet::AdaptivePolicy). Off = every
+  /// device runs the plain HH-PIM dynamic policy until its battery dies.
+  bool adapt = true;
+  std::uint64_t seed = 0x5eed2025;
+  AggregateShape histograms;
+
+  /// The model population after defaulting (never empty).
+  [[nodiscard]] std::vector<nn::Model> resolved_models() const;
+  /// The scenario mix after defaulting (never empty).
+  [[nodiscard]] std::vector<workload::Scenario> resolved_mix() const;
+
+  /// One DeviceSpec per device, in id order. Throws std::invalid_argument
+  /// on a malformed spec (negative devices, slices <= 0, a trace scenario
+  /// in the mix, or adapt on a non-HH-PIM / MRAM-less arch).
+  [[nodiscard]] std::vector<DeviceSpec> expand() const;
+
+  /// Validation only (same throws as expand()); cheap, O(mix).
+  void validate() const;
+};
+
+/// The materialized per-slice load trace of one device: generate + rotate.
+[[nodiscard]] std::vector<int> device_loads(const DeviceSpec& spec);
+
+}  // namespace hhpim::fleet

@@ -165,20 +165,7 @@ Time Processor::mram_only_task_time() const {
   if (config_.arch.mram_kb_per_module == 0) return Time::zero();
   // Balanced across the MRAM of both clusters (or all in HP-MRAM when there
   // is no LP cluster).
-  const auto& hp = cost_.at(Space::kHpMram);
-  const auto& lp = cost_.at(Space::kLpMram);
-  Allocation a;
-  if (lp.capacity_weights == 0) {
-    a[Space::kHpMram] = weights_;
-  } else {
-    const double t_hp = static_cast<double>(hp.time_per_weight.as_ps());
-    const double t_lp = static_cast<double>(lp.time_per_weight.as_ps());
-    const auto x_hp = static_cast<std::uint64_t>(
-        std::llround(static_cast<double>(weights_) * t_lp / (t_hp + t_lp)));
-    a[Space::kHpMram] = x_hp;
-    a[Space::kLpMram] = weights_ - x_hp;
-  }
-  return placement::task_time(cost_, a);
+  return placement::task_time(cost_, balanced_mram_split(cost_, weights_));
 }
 
 void Processor::apply_residency(const Allocation& alloc) {
@@ -247,12 +234,50 @@ Time Processor::run_task(Time start) {
   return done;
 }
 
+void Processor::set_placement_override(
+    const std::optional<placement::Allocation>& alloc) {
+  if (alloc.has_value()) {
+    if (alloc->total() != weights_) {
+      throw std::invalid_argument(
+          "set_placement_override: allocation must place every weight");
+    }
+    if (!placement::fits(cost_, *alloc)) {
+      throw std::invalid_argument(
+          "set_placement_override: allocation exceeds capacity");
+    }
+  }
+  override_ = alloc;
+}
+
+// A pinned (override) placement decided exactly like a static policy would:
+// move whatever differs from the current residency, charge the estimated
+// movement against the slice budget, and report infeasibility if the pinned
+// placement cannot serve the load within T.
+SliceDecision Processor::decide_override(const placement::Allocation& target,
+                                         int n_tasks) const {
+  SliceDecision d;
+  d.alloc = target;
+  d.plan = placement::plan_movement(current_, target);
+  const auto cost = placement::estimate_movement(cost_, d.plan, config_.movement);
+  d.movement_time = cost.time;
+  d.movement_energy = cost.energy;
+  const Time budget = slice_ - cost.time;
+  d.t_constraint = n_tasks > 0
+                       ? (budget > Time::zero() ? budget / n_tasks : Time::ps(1))
+                       : slice_;
+  d.feasible = n_tasks == 0 ||
+               placement::task_time(cost_, target) <= d.t_constraint;
+  return d;
+}
+
 SliceStats Processor::run_slice(int n_tasks) {
   const Time slice_start = now_;
   const Time slice_end = slice_start + slice_;
   const Energy before = ledger_.total();
 
-  const SliceDecision d = policy_->decide(current_, n_tasks);
+  const SliceDecision d = override_.has_value()
+                              ? decide_override(*override_, n_tasks)
+                              : policy_->decide(current_, n_tasks);
   if (!(d.alloc == current_) && d.plan.total() > 0) {
     apply_movement(d.plan);
     // Residency flips after the data lands.

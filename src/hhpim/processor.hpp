@@ -106,6 +106,18 @@ class Processor {
   /// internal clock by (at least) one slice.
   SliceStats run_slice(int n_tasks);
 
+  /// Online adaptation hook (hhpim::fleet): from the next run_slice on, pin
+  /// the placement to `alloc` instead of consulting the constructed policy.
+  /// Movement toward the pinned placement is planned and charged exactly
+  /// like a policy decision (weights migrate once, then stay). `alloc` must
+  /// total the model's weights and fit the architecture's capacities
+  /// (throws std::invalid_argument otherwise). Pass std::nullopt to resume
+  /// the constructed policy — e.g. HH-PIM's dynamic LUT placement.
+  void set_placement_override(const std::optional<placement::Allocation>& alloc);
+  [[nodiscard]] bool placement_override_active() const {
+    return override_.has_value();
+  }
+
   /// Executes a whole scenario: loads[k] inferences arrive in slice k and
   /// execute in slice k+1; one trailing slice drains the buffer.
   RunStats run_scenario(const std::vector<int>& loads);
@@ -118,6 +130,9 @@ class Processor {
   /// The LUT (HH-PIM only; nullptr otherwise).
   [[nodiscard]] const placement::AllocationLut* lut() const;
 
+  /// Total model weights K (the quantity every Allocation must sum to).
+  [[nodiscard]] std::uint64_t total_weights() const { return weights_; }
+
   /// Minimum achievable task time (peak performance point).
   [[nodiscard]] Time peak_task_time() const;
   /// Task time with weights only in MRAM (the H-PIM-style purple point of
@@ -129,6 +144,10 @@ class Processor {
  private:
   void apply_movement(const placement::MovementPlan& plan);
   void apply_residency(const placement::Allocation& alloc);
+  /// SliceDecision for a pinned (override) placement; mirrors StaticPolicy
+  /// but plans/charges movement from the current residency.
+  [[nodiscard]] SliceDecision decide_override(const placement::Allocation& target,
+                                              int n_tasks) const;
   /// Runs one task under the current placement starting at `start`;
   /// returns its completion time.
   Time run_task(Time start);
@@ -147,6 +166,7 @@ class Processor {
   std::unique_ptr<pim::DataAllocator> xfer_;   ///< inter-cluster path
   std::unique_ptr<PlacementPolicy> policy_;
   const placement::AllocationLut* lut_view_ = nullptr;
+  std::optional<placement::Allocation> override_;  ///< pinned placement, if any
   placement::Allocation current_;
   Time now_ = Time::zero();
   int slice_index_ = 0;

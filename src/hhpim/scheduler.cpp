@@ -1,6 +1,7 @@
 #include "hhpim/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace hhpim::sys {
@@ -142,6 +143,23 @@ Allocation balanced_sram_split(const placement::CostModel& m, std::uint64_t tota
   best[Space::kHpSram] = best_x;
   best[Space::kLpSram] = total - best_x;
   return best;
+}
+
+Allocation balanced_mram_split(const placement::CostModel& m, std::uint64_t total) {
+  const auto& hp = m.at(Space::kHpMram);
+  const auto& lp = m.at(Space::kLpMram);
+  Allocation a;
+  if (lp.capacity_weights == 0) {
+    a[Space::kHpMram] = total;
+    return a;
+  }
+  const double t_hp = static_cast<double>(hp.time_per_weight.as_ps());
+  const double t_lp = static_cast<double>(lp.time_per_weight.as_ps());
+  const auto x_hp = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(total) * t_lp / (t_hp + t_lp)));
+  a[Space::kHpMram] = std::min(x_hp, total);
+  a[Space::kLpMram] = total - a[Space::kHpMram];
+  return a;
 }
 
 }  // namespace hhpim::sys

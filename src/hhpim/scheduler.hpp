@@ -96,4 +96,13 @@ class DynamicLutPolicy final : public PlacementPolicy {
 [[nodiscard]] placement::Allocation balanced_sram_split(const placement::CostModel& m,
                                                         std::uint64_t total);
 
+/// Latency-balanced split of `total` weights between HP-MRAM and LP-MRAM
+/// (all in HP-MRAM when there is no LP cluster) — the minimum-leakage
+/// placement: every SRAM bank can power-gate. This is the "low-power static"
+/// mode the fleet's battery-driven adaptation pins via
+/// sys::Processor::set_placement_override; it is also the purple MRAM-only
+/// point of the paper's Fig. 6.
+[[nodiscard]] placement::Allocation balanced_mram_split(const placement::CostModel& m,
+                                                        std::uint64_t total);
+
 }  // namespace hhpim::sys

@@ -133,4 +133,20 @@ std::vector<Model> paper_models() {
   return v;
 }
 
+std::optional<Model> find_model(const std::string& name) {
+  for (Model& m : paper_models()) {
+    if (m.name() == name) return std::move(m);
+  }
+  return std::nullopt;
+}
+
+std::string known_model_names() {
+  std::string out;
+  for (const Model& m : paper_models()) {
+    if (!out.empty()) out += ", ";
+    out += m.name();
+  }
+  return out;
+}
+
 }  // namespace hhpim::nn::zoo

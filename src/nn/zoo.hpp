@@ -6,6 +6,8 @@
 //   ResNet-18        : 256 k params, 29.580 M MACs, 75 % PIM ops
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "nn/model.hpp"
@@ -18,5 +20,14 @@ namespace hhpim::nn::zoo {
 
 /// All three, in the paper's Table IV order.
 [[nodiscard]] std::vector<Model> paper_models();
+
+/// The Table IV model named `name` (exact match on Model::name());
+/// std::nullopt for an unknown name. The single model-by-name lookup shared
+/// by the experiment-grid and fleet CLIs — add new zoo models here, not in
+/// per-binary copies.
+[[nodiscard]] std::optional<Model> find_model(const std::string& name);
+
+/// Comma-separated list of the known model names (for CLI error messages).
+[[nodiscard]] std::string known_model_names();
 
 }  // namespace hhpim::nn::zoo

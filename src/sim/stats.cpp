@@ -65,6 +65,16 @@ void Histogram::add(double v, std::uint64_t weight) {
   bins_[std::min(idx, bins_.size() - 1)] += weight;
 }
 
+void Histogram::merge(const Histogram& o) {
+  if (lo_ != o.lo_ || hi_ != o.hi_ || bins_.size() != o.bins_.size()) {
+    throw std::invalid_argument("Histogram::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += o.bins_[i];
+  underflow_ += o.underflow_;
+  overflow_ += o.overflow_;
+  total_ += o.total_;
+}
+
 void Histogram::reset() {
   std::fill(bins_.begin(), bins_.end(), 0);
   underflow_ = overflow_ = total_ = 0;

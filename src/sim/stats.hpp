@@ -35,11 +35,22 @@ class Summary {
 
 /// Histogram with uniform bins over [lo, hi); out-of-range samples land in
 /// saturating underflow/overflow bins.
+///
+/// Histograms with identical shape (lo, hi, bin count) are mergeable —
+/// merge() adds counts bin-wise, so a population split across shards (e.g.
+/// the fleet simulator's per-shard aggregates) reduces to exactly the
+/// histogram a single pass would have produced, in any merge order.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double v, std::uint64_t weight = 1);
+
+  /// Adds `other`'s counts bin-wise (including under/overflow). Throws
+  /// std::invalid_argument unless both histograms have the same lo, hi and
+  /// bin count. O(bins); associative and commutative.
+  void merge(const Histogram& other);
+
   void reset();
 
   [[nodiscard]] std::uint64_t total() const { return total_; }

@@ -38,6 +38,16 @@ const char* case_name(Scenario s) {
   }
 }
 
+std::optional<Scenario> from_string(std::string_view name) {
+  for (const Scenario s : all_scenarios()) {
+    if (name == to_string(s)) return s;
+  }
+  for (const Scenario s : extended_scenarios()) {
+    if (name == to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
 std::array<Scenario, 6> all_scenarios() {
   return {Scenario::kLowConstant,       Scenario::kHighConstant,
           Scenario::kPeriodicSpike,     Scenario::kPeriodicSpikeFrequent,

@@ -1,11 +1,19 @@
 // Per-time-slice inference-count generators: the six workload scenarios of
 // Fig. 4 plus extended shapes (ramp, burst-decay, Poisson arrivals, trace
-// replay) used by the experiment-runner grids.
+// replay) used by the experiment-runner grids and the fleet simulator.
+//
+// Everything here is a pure function of its arguments (randomized shapes
+// draw from common/rng.hpp seeded by ScenarioConfig::seed, bit-identical
+// across hosts and standard libraries) — safe to call concurrently, and the
+// reason a load trace never needs to be stored: regenerating it from the
+// config is exact. generate() is O(slices); file I/O helpers are O(lines).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hhpim::workload {
@@ -26,6 +34,10 @@ enum class Scenario : std::uint8_t {
 
 [[nodiscard]] const char* to_string(Scenario s);
 [[nodiscard]] const char* case_name(Scenario s);  ///< "Case 1" .. "Case 6"; extended shapes get their name
+/// Inverse of to_string over every scenario (paper + extended); nullopt for
+/// an unknown name. The single name parser shared by the experiment-grid and
+/// fleet CLIs — add new shapes here, not in per-binary copies.
+[[nodiscard]] std::optional<Scenario> from_string(std::string_view name);
 [[nodiscard]] std::array<Scenario, 6> all_scenarios();       ///< the paper's Fig. 4 set
 [[nodiscard]] std::array<Scenario, 4> extended_scenarios();  ///< ramp, burst-decay, Poisson, trace
 
@@ -45,7 +57,13 @@ struct ScenarioConfig {
   std::vector<int> trace{};  ///< kTrace: inline trace (used when trace_path empty)
 };
 
-/// Per-slice inference counts for a scenario.
+/// Per-slice inference counts for a scenario (all counts >= 0; randomized
+/// shapes are capped at cfg.high). Preconditions, enforced with
+/// std::invalid_argument: slices > 0 and 0 <= low <= high; kBurstDecay
+/// needs burst_period > 0 and burst_decay in (0, 1]; kPoisson needs
+/// poisson_mean in (0, 500]; kTrace needs trace_path or a non-empty trace
+/// of non-negative counts (the trace also defines the run length —
+/// cfg.slices is ignored for it).
 [[nodiscard]] std::vector<int> generate(Scenario s, const ScenarioConfig& cfg = {});
 
 /// Writes a load trace to `path` (one count per line, '#' comments allowed on

@@ -1,0 +1,331 @@
+// Fleet-simulator suite: the battery model, SoC-threshold adaptation (exact
+// threshold hits, exhaustion mid-run, zero-device fleets), spec expansion
+// jitter, LUT fan-in across devices, and the subsystem's load-bearing
+// property — the same FleetSpec at 1 and 8 worker threads yields
+// byte-identical JSONL, shard files and summary JSON.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "energy/battery.hpp"
+#include "fleet/simulator.hpp"
+#include "hhpim/scheduler.hpp"
+#include "nn/zoo.hpp"
+#include "placement/lut_cache.hpp"
+#include "sim/stats.hpp"
+
+namespace hhpim::fleet {
+namespace {
+
+using namespace hhpim::literals;
+
+/// A small fleet that runs in milliseconds: one model, low LUT resolution.
+FleetSpec small_fleet(int devices = 24, int slices = 6) {
+  FleetSpec spec;
+  spec.name = "test-fleet";
+  spec.devices = devices;
+  spec.slices = slices;
+  spec.models = {nn::zoo::efficientnet_b0()};
+  spec.config.lut_t_entries = 16;
+  spec.config.lut_k_blocks = 16;
+  return spec;
+}
+
+// --- battery -----------------------------------------------------------------
+
+TEST(Battery, DrainClampsAndReportsExhaustion) {
+  energy::BatteryConfig cfg;
+  cfg.capacity = Energy::pj(100.0);
+  energy::Battery b{cfg};
+  EXPECT_DOUBLE_EQ(b.soc(), 1.0);
+  EXPECT_DOUBLE_EQ(b.drain(Energy::pj(40.0)).as_pj(), 40.0);
+  EXPECT_DOUBLE_EQ(b.soc(), 0.6);
+  EXPECT_FALSE(b.exhausted());
+  // Requested > remaining: the drain truncates — the caller detects
+  // died-mid-slice by drained < requested.
+  EXPECT_DOUBLE_EQ(b.drain(Energy::pj(80.0)).as_pj(), 60.0);
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_DOUBLE_EQ(b.drain(Energy::pj(1.0)).as_pj(), 0.0);
+  b.recharge(Energy::pj(10.0));
+  EXPECT_FALSE(b.exhausted());
+  b.recharge(Energy::pj(1000.0));  // clamped to capacity
+  EXPECT_DOUBLE_EQ(b.soc(), 1.0);
+}
+
+TEST(Battery, RejectsBadConfig) {
+  energy::BatteryConfig zero;
+  zero.capacity = Energy::zero();
+  EXPECT_THROW(energy::Battery{zero}, std::invalid_argument);
+  energy::BatteryConfig soc;
+  soc.initial_soc = 1.5;
+  EXPECT_THROW(energy::Battery{soc}, std::invalid_argument);
+}
+
+// --- adaptive policy ---------------------------------------------------------
+
+TEST(AdaptivePolicy, HysteresisAndExactThresholds) {
+  AdaptivePolicy p{{.low_soc = 0.3, .high_soc = 0.5}};
+  EXPECT_EQ(p.update(1.0), DeviceMode::kDynamic);
+  EXPECT_EQ(p.update(0.31), DeviceMode::kDynamic);
+  // Exactly at the low threshold switches (<=).
+  EXPECT_EQ(p.update(0.30), DeviceMode::kLowPower);
+  EXPECT_EQ(p.switches(), 1u);
+  // Inside the hysteresis band: stays low-power.
+  EXPECT_EQ(p.update(0.45), DeviceMode::kLowPower);
+  // Exactly at the high threshold switches back (>=).
+  EXPECT_EQ(p.update(0.50), DeviceMode::kDynamic);
+  EXPECT_EQ(p.switches(), 2u);
+  EXPECT_EQ(p.update(0.49), DeviceMode::kDynamic);  // band is sticky both ways
+}
+
+TEST(AdaptivePolicy, RejectsBadThresholds) {
+  EXPECT_THROW(AdaptivePolicy({.low_soc = 0.6, .high_soc = 0.4}),
+               std::invalid_argument);
+  EXPECT_THROW(AdaptivePolicy({.low_soc = -0.1, .high_soc = 0.4}),
+               std::invalid_argument);
+  EXPECT_THROW(AdaptivePolicy({.low_soc = 0.4, .high_soc = 1.1}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(AdaptivePolicy({.low_soc = 0.4, .high_soc = 0.4}));
+}
+
+// --- histogram merge (the shard-aggregation primitive) -----------------------
+
+TEST(HistogramMerge, ExactAcrossSplits) {
+  sim::Histogram whole{0.0, 10.0, 10};
+  sim::Histogram a{0.0, 10.0, 10};
+  sim::Histogram b{0.0, 10.0, 10};
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>(i) * 0.13 - 1.0;  // incl. under/overflow
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), whole.total());
+  EXPECT_EQ(a.underflow(), whole.underflow());
+  EXPECT_EQ(a.overflow(), whole.overflow());
+  for (std::size_t i = 0; i < whole.bins().size(); ++i) {
+    EXPECT_EQ(a.bins()[i], whole.bins()[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), whole.quantile(0.5));
+}
+
+TEST(HistogramMerge, ShapeMismatchThrows) {
+  sim::Histogram a{0.0, 10.0, 10};
+  sim::Histogram bins{0.0, 10.0, 20};
+  sim::Histogram range{0.0, 5.0, 10};
+  EXPECT_THROW(a.merge(bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(range), std::invalid_argument);
+}
+
+// --- spec expansion ----------------------------------------------------------
+
+TEST(FleetSpec, ExpandIsDeterministicAndJittered) {
+  const FleetSpec spec = small_fleet(32);
+  const auto a = spec.expand();
+  const auto b = spec.expand();
+  ASSERT_EQ(a.size(), 32u);
+  std::set<std::uint64_t> seeds;
+  std::set<int> phases;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].phase, b[i].phase);
+    EXPECT_EQ(static_cast<int>(a[i].scenario), static_cast<int>(b[i].scenario));
+    seeds.insert(a[i].seed);
+    phases.insert(a[i].phase);
+  }
+  // Jitter: seeds are (overwhelmingly) distinct, phases spread out.
+  EXPECT_EQ(seeds.size(), 32u);
+  EXPECT_GT(phases.size(), 1u);
+}
+
+TEST(FleetSpec, ValidationRejectsBadSpecs) {
+  FleetSpec negative = small_fleet(-1);
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+  FleetSpec no_slices = small_fleet(4, 6);
+  no_slices.slices = 0;
+  EXPECT_THROW(no_slices.validate(), std::invalid_argument);
+  FleetSpec trace_mix = small_fleet(4);
+  trace_mix.mix = {workload::Scenario::kTrace};
+  EXPECT_THROW(trace_mix.validate(), std::invalid_argument);
+  // Adaptation requires MRAM + the dynamic policy.
+  FleetSpec baseline = small_fleet(4);
+  baseline.config.arch = sys::ArchConfig::baseline();
+  EXPECT_THROW(baseline.validate(), std::invalid_argument);
+  baseline.adapt = false;
+  EXPECT_NO_THROW(baseline.validate());
+  // ... and the low-power MRAM placement must actually fit every model
+  // (rejected here, not from a worker thread mid-run).
+  FleetSpec tiny_mram = small_fleet(4);
+  tiny_mram.config.arch.mram_kb_per_module = 1;
+  EXPECT_THROW(tiny_mram.validate(), std::invalid_argument);
+  // The LUT cache is an execution concern (FleetOptions), never the spec's.
+  FleetSpec preset_cache = small_fleet(4);
+  placement::LutCache cache;
+  preset_cache.config.lut_cache = &cache;
+  EXPECT_THROW(preset_cache.validate(), std::invalid_argument);
+}
+
+TEST(FleetSpec, DeviceLoadsRotateByPhase) {
+  FleetSpec spec = small_fleet(1, 8);
+  auto specs = spec.expand();
+  ASSERT_EQ(specs.size(), 1u);
+  DeviceSpec d = specs[0];
+  d.scenario = workload::Scenario::kPeriodicSpike;
+  d.cfg.spike_period = 8;  // spike at index 0 before rotation
+  d.phase = 3;
+  const std::vector<int> loads = device_loads(d);
+  ASSERT_EQ(loads.size(), 8u);
+  // Rotated left by 3: the spike lands at index (0 - 3) mod 8 = 5.
+  EXPECT_EQ(loads[5], d.cfg.high);
+  EXPECT_EQ(loads[0], d.cfg.low);
+}
+
+// --- device edge cases -------------------------------------------------------
+
+TEST(Device, BatteryExhaustedMidRunStopsAndDropsTasks) {
+  FleetSpec spec = small_fleet(1, 6);
+  // A battery that dies after roughly one busy slice.
+  spec.battery.capacity = Energy::mj(10.0);
+  auto specs = spec.expand();
+  specs[0].scenario = workload::Scenario::kHighConstant;
+  placement::LutCache cache;
+  Device dev{spec, specs[0], spec.models[0], &cache};
+  const DeviceResult r = dev.run(nullptr);
+  EXPECT_GE(r.exhausted_at_slice, 0);
+  EXPECT_LT(r.slices_executed, r.slices_total);
+  EXPECT_GT(r.tasks_dropped, 0u);
+  EXPECT_DOUBLE_EQ(r.final_soc, 0.0);
+  // Drained energy never exceeds capacity.
+  EXPECT_LE(r.energy_pj, r.battery_capacity_pj);
+}
+
+TEST(Device, AdaptationPinsLowPowerPlacementUnderLowSoc) {
+  FleetSpec spec = small_fleet(1, 8);
+  // Start below the low threshold: every slice must run low-power.
+  spec.battery.initial_soc = 0.25;
+  spec.thresholds = {.low_soc = 0.3, .high_soc = 0.5};
+  auto specs = spec.expand();
+  specs[0].scenario = workload::Scenario::kLowConstant;
+  placement::LutCache cache;
+  Device dev{spec, specs[0], spec.models[0], &cache};
+  const DeviceResult r = dev.run(nullptr);
+  EXPECT_EQ(r.mode_switches, 1u);
+  EXPECT_EQ(r.low_power_slices, r.slices_executed);
+  // The pinned placement is MRAM-balanced: identical to balanced_mram_split.
+  const auto& proc = dev.processor();
+  EXPECT_TRUE(proc.placement_override_active());
+  const placement::Allocation mram = sys::balanced_mram_split(
+      proc.cost_model(), proc.total_weights());
+  EXPECT_TRUE(proc.current_allocation() == mram);
+}
+
+TEST(Device, NoAdaptMatchesPlainHhpimEnergy) {
+  // With adapt off and an effectively infinite battery, a device is exactly
+  // a sys::Processor::run_scenario of its jittered trace.
+  FleetSpec spec = small_fleet(1, 6);
+  spec.adapt = false;
+  spec.battery.capacity = Energy::mj(1e9);
+  auto specs = spec.expand();
+  placement::LutCache cache;
+  Device dev{spec, specs[0], spec.models[0], &cache};
+  const DeviceResult r = dev.run(nullptr);
+
+  sys::SystemConfig config = spec.config;
+  config.lut_cache = &cache;
+  sys::Processor proc{config, spec.models[0]};
+  const sys::RunStats stats = proc.run_scenario(device_loads(specs[0]));
+  // The device sums per-slice ledger deltas, run_scenario takes one
+  // end-to-end delta — equal up to FP association, so compare tightly but
+  // not bit-exactly (total is ~1e10 pJ).
+  EXPECT_NEAR(r.energy_pj, stats.total_energy.as_pj(), 1.0);
+  EXPECT_EQ(r.tasks, stats.tasks);
+  EXPECT_EQ(r.deadline_violations, stats.deadline_violations);
+}
+
+// --- simulator ---------------------------------------------------------------
+
+TEST(FleetSimulator, ZeroDeviceFleet) {
+  const FleetSpec spec = small_fleet(0);
+  const FleetSimulator sim{{.threads = 4}};
+  const FleetResult r = sim.run(spec);
+  EXPECT_EQ(r.devices.size(), 0u);
+  EXPECT_EQ(r.shard_count, 0u);
+  EXPECT_EQ(r.aggregate.devices, 0u);
+  EXPECT_EQ(r.to_jsonl(), "");
+  EXPECT_NE(r.summary_to_json(), "");  // still a valid summary document
+}
+
+TEST(FleetSimulator, ByteIdenticalAcrossThreadCounts) {
+  const FleetSpec spec = small_fleet(24, 5);
+  placement::LutCache c1, c8;
+  const FleetSimulator s1{{.threads = 1, .shard_size = 4, .lut_cache = &c1}};
+  const FleetSimulator s8{{.threads = 8, .shard_size = 4, .lut_cache = &c8}};
+  const FleetResult r1 = s1.run(spec);
+  const FleetResult r8 = s8.run(spec);
+  EXPECT_EQ(r1.to_jsonl(), r8.to_jsonl());
+  EXPECT_EQ(r1.summary_to_json(), r8.summary_to_json());
+  EXPECT_EQ(r1.shard_count, r8.shard_count);
+}
+
+TEST(FleetSimulator, DevicesShareLutBuilds) {
+  const FleetSpec spec = small_fleet(24, 4);  // one model -> one LUT key
+  placement::LutCache cache;
+  const FleetSimulator sim{{.threads = 2, .shard_size = 6, .lut_cache = &cache}};
+  const FleetResult r = sim.run(spec);
+  EXPECT_EQ(r.lut_builds, 1u);
+  EXPECT_EQ(r.lut_shared, 23u);
+}
+
+TEST(FleetSimulator, ShardFilesMatchInMemoryJsonl) {
+  const FleetSpec spec = small_fleet(10, 4);
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir = tmp != nullptr ? tmp : "/tmp";
+  placement::LutCache cache;
+  FleetOptions opts;
+  opts.threads = 1;
+  opts.shard_size = 4;
+  opts.lut_cache = &cache;
+  opts.shard_dir = dir;
+  const FleetResult r = FleetSimulator{opts}.run(spec);
+  EXPECT_EQ(r.shard_count, 3u);
+  std::string concatenated;
+  for (std::size_t s = 0; s < r.shard_count; ++s) {
+    char name[32];
+    std::snprintf(name, sizeof name, "shard-%05zu.jsonl", s);
+    std::ifstream in(dir + "/" + name);
+    ASSERT_TRUE(in.good()) << name;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    concatenated += ss.str();
+    std::remove((dir + "/" + name).c_str());
+  }
+  EXPECT_EQ(concatenated, r.to_jsonl());
+}
+
+TEST(FleetSimulator, AggregateCountsAreConsistent) {
+  const FleetSpec spec = small_fleet(16, 5);
+  placement::LutCache cache;
+  const FleetSimulator sim{{.threads = 1, .shard_size = 5, .lut_cache = &cache}};
+  const FleetResult r = sim.run(spec);
+  ASSERT_EQ(r.devices.size(), 16u);
+  std::uint64_t tasks = 0, executed = 0;
+  for (const DeviceResult& d : r.devices) {
+    tasks += d.tasks;
+    executed += static_cast<std::uint64_t>(d.slices_executed);
+  }
+  EXPECT_EQ(r.aggregate.devices, 16u);
+  EXPECT_EQ(r.aggregate.tasks, tasks);
+  EXPECT_EQ(r.aggregate.executed_slices, executed);
+  // Every executed slice contributed one sample to each slice histogram.
+  EXPECT_EQ(r.aggregate.busy_frac_hist().total(), executed);
+  EXPECT_EQ(r.aggregate.slice_energy_hist().total(), executed);
+}
+
+}  // namespace
+}  // namespace hhpim::fleet

@@ -57,6 +57,25 @@ TEST(JsonWriter, EmptyContainersStayCompact) {
   EXPECT_EQ(os.str(), "{\n  \"a\": [],\n  \"o\": {}\n}");
 }
 
+TEST(JsonWriter, CompactStyleEmitsNoWhitespace) {
+  std::ostringstream os;
+  JsonWriter w{os, JsonWriter::Style::kCompact};
+  w.begin_object();
+  w.field("name", "grid");
+  w.key("runs");
+  w.begin_array();
+  w.begin_object();
+  w.field("i", 0);
+  w.field("ok", true);
+  w.end_object();
+  w.value(2.5);
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.done());
+  // One line, no spaces: the JSONL device-line format of the fleet shards.
+  EXPECT_EQ(os.str(), "{\"name\":\"grid\",\"runs\":[{\"i\":0,\"ok\":true},2.5]}");
+}
+
 TEST(JsonWriter, MisuseThrows) {
   std::ostringstream os;
   JsonWriter w{os};

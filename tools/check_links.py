@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Markdown link checker for this repo's docs (stdlib only).
+
+Checks, for every markdown file passed on the command line:
+  * relative links resolve to an existing file or directory;
+  * intra-repo anchors (``file.md#section`` or ``#section``) match a heading
+    in the target file (GitHub slug rules: lowercase, spaces -> dashes,
+    punctuation stripped);
+  * reference-style links ``[text][label]`` have a matching definition.
+
+External links (http/https/mailto) are *not* fetched — CI must not depend
+on the network. Inline code spans and fenced code blocks are ignored, so a
+literal ``[i]`` in C++ sample code is not a link.
+
+Usage: python3 tools/check_links.py README.md docs/*.md
+Exit status: 0 = all links ok, 1 = at least one broken link (listed).
+"""
+
+import os
+import re
+import sys
+import unicodedata
+
+INLINE_LINK = re.compile(r"(!?)\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_LINK = re.compile(r"(?<!\])\[([^\]]+)\]\[([^\]]*)\]")
+REFERENCE_DEF = re.compile(r"^\s{0,3}\[([^\]]+)\]:\s*(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+FENCE = re.compile(r"```.*?```|~~~.*?~~~", re.DOTALL)
+CODE_SPAN = re.compile(r"`[^`\n]*`")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, keep word chars and
+    dashes, spaces become dashes."""
+    text = re.sub(r"[*_`]|\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = unicodedata.normalize("NFKD", text)
+    text = text.lower().strip()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_code(markdown: str) -> str:
+    """Blank out fenced blocks and inline code (keeps offsets stable)."""
+    markdown = FENCE.sub(lambda m: " " * len(m.group(0)), markdown)
+    return CODE_SPAN.sub(lambda m: " " * len(m.group(0)), markdown)
+
+
+def anchors_of(path: str, cache: dict) -> set:
+    if path not in cache:
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = strip_code(f.read())
+        except OSError:
+            cache[path] = set()
+            return cache[path]
+        slugs = {}
+        anchors = set()
+        for m in HEADING.finditer(text):
+            slug = github_slug(m.group(1))
+            n = slugs.get(slug, 0)
+            slugs[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = anchors
+    return cache[path]
+
+
+def check_file(path: str, anchor_cache: dict) -> list:
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    text = strip_code(raw)
+    base = os.path.dirname(path) or "."
+
+    defs = {m.group(1).lower(): m.group(2) for m in REFERENCE_DEF.finditer(text)}
+    targets = [m.group(3) for m in INLINE_LINK.finditer(text)]
+    for m in REFERENCE_LINK.finditer(text):
+        label = (m.group(2) or m.group(1)).lower()
+        if label in defs:
+            targets.append(defs[label])
+        else:
+            errors.append(f"{path}: undefined reference link [{label}]")
+    targets.extend(defs.values())
+
+    for target in targets:
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{path}: broken link -> {target}")
+                continue
+        else:
+            resolved = path
+        if anchor and resolved.endswith(".md"):
+            if anchor not in anchors_of(resolved, anchor_cache):
+                errors.append(f"{path}: dead anchor -> {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    anchor_cache = {}
+    errors = []
+    for path in argv[1:]:
+        errors.extend(check_file(path, anchor_cache))
+    for e in errors:
+        print(e, file=sys.stderr)
+    checked = len(argv) - 1
+    if errors:
+        print(f"check_links: {len(errors)} broken link(s) in {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_links: {checked} file(s) ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
