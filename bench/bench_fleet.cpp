@@ -9,18 +9,28 @@
 // (CI runs the same with --devices=256 --reps=1 and uploads the JSON per PR
 // next to the committed baseline, so the trajectory accumulates.)
 //
-// Two headline comparisons:
+// Headline comparisons (see docs/PERF.md for how to read them):
 //   * fleet/t1 vs fleet/t8 — the same 1,000-device fleet at 1 and 8 worker
-//     threads. `speedup_t8_vs_t1` is the worker-scaling criterion (≥ 2×, on
-//     a host with ≥ 2 cores; `hardware_threads` records what this host
-//     offered, and a 1-core container necessarily reports ~1×).
+//     threads, measured steady-state: the shared LUT cache is warmed once
+//     (untimed; `lut_warm_ms` reports the one-off build cost) so the legs
+//     measure the slice-execution fast path, not LUT construction.
+//     `speedup_t8_vs_t1` is the worker-scaling criterion (≥ 2×, on a host
+//     with ≥ 2 cores; `hardware_threads` records what this host offered,
+//     and a 1-core container necessarily reports ~1×).
+//   * fleet/t1-scalar vs fleet/t1 — the same warm fleet with the batched
+//     slice kernel, decision memo and processor reuse all off vs all on.
+//     `batched_speedup_t1` is the steady-state fast-path criterion.
+//   * fleet/t1-cold — fresh cache per rep (LUT builds inside the timed
+//     region), the pre-PR-5 measurement convention, kept for trajectory
+//     continuity.
 //   * lut_shared/t1 vs lut_private/t1 — a small fleet with the shared LUT
 //     cache on vs off. Sharing makes per-device cost independent of the LUT
 //     build: `lut_sharing_speedup` is the fan-in economy that lets device
 //     counts scale into the thousands at all, on any core count.
 //
-// Fleet outputs are byte-identical across all of these (threads, sharing);
-// tests/test_fleet.cpp pins that — only wall-clock moves here.
+// Fleet outputs are byte-identical across all of these (threads, sharing,
+// batching, reuse); tests/test_fleet.cpp and tests/test_batched.cpp pin
+// that — only wall-clock moves here.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -31,7 +41,10 @@
 
 #include "common/cli.hpp"
 #include "common/serialize.hpp"
+#include "fleet/device.hpp"
 #include "fleet/simulator.hpp"
+#include "hhpim/processor.hpp"
+#include "nn/model.hpp"
 #include "placement/lut_cache.hpp"
 
 using namespace hhpim;
@@ -55,20 +68,25 @@ struct Measurement {
   std::uint64_t tasks = 0;
 };
 
-/// Best-of-`reps` wall clock for one fleet configuration. A fresh private
-/// cache per rep keeps reps identical (first-rep builds are part of the
-/// measurement, exactly like a real CLI invocation).
+/// Best-of-`reps` wall clock for one fleet configuration. With `warm_cache`
+/// null, a fresh private cache per rep keeps reps identical (first-rep
+/// builds are part of the measurement, exactly like a cold CLI invocation);
+/// with a pre-warmed cache the legs measure steady-state throughput.
+/// `reuse` toggles processor pooling (FleetOptions::reuse_processors).
 Measurement run_fleet(const fleet::FleetSpec& spec, unsigned threads,
-                      bool share_luts, std::size_t shard_size, int reps) {
+                      bool share_luts, std::size_t shard_size, int reps,
+                      placement::LutCache* warm_cache = nullptr,
+                      bool reuse = true) {
   Measurement best;
   for (int rep = 0; rep < reps; ++rep) {
-    placement::LutCache cache;
+    placement::LutCache fresh;
     fleet::FleetOptions opts;
     opts.threads = threads;
     opts.share_luts = share_luts;
-    opts.lut_cache = &cache;
+    opts.lut_cache = warm_cache != nullptr ? warm_cache : &fresh;
     opts.shard_size = shard_size;
     opts.keep_results = false;  // throughput, not result plumbing
+    opts.reuse_processors = reuse;
     const fleet::FleetSimulator sim{opts};
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -118,21 +136,52 @@ int main(int argc, char** argv) {
   const std::string out_path = cli.get("out", "BENCH_fleet.json");
 
   const fleet::FleetSpec spec = bench_spec(devices, slices, lut);
+  fleet::FleetSpec scalar_spec = spec;
+  scalar_spec.config.batched_execution = false;
+  scalar_spec.config.memoize_decisions = false;
   const fleet::FleetSpec small = bench_spec(nocache_devices, slices, lut);
 
   std::printf("bench_fleet: %d devices x %d slices (lut %d, shard %zu, "
               "best of %d)\n",
               devices, slices, lut, shard, reps);
 
-  const Measurement t1 = run_fleet(spec, 1, true, shard, reps);
-  std::printf("  fleet/t1        : %8.1f ms  (%.0f devices/s)\n", t1.wall_ms,
-              devices / (t1.wall_ms * 1e-3));
-  const Measurement t8 = run_fleet(spec, 8, true, shard, reps);
+  // Warm the shared cache once: one Processor per distinct model builds its
+  // LUT into `warm`, so `lut_warm_ms` is exactly the one-off build cost the
+  // steady-state legs amortize away.
+  placement::LutCache warm;
+  const auto w0 = std::chrono::steady_clock::now();
+  {
+    const sys::SystemConfig cfg = fleet::Device::device_config(spec, &warm);
+    for (const nn::Model& model : spec.resolved_models()) {
+      const sys::Processor proc{cfg, model};
+    }
+  }
+  const double lut_warm_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - w0)
+                                 .count();
+
+  const Measurement t1 = run_fleet(spec, 1, true, shard, reps, &warm);
+  std::printf("  fleet/t1        : %8.1f ms  (%.0f devices/s, warm cache)\n",
+              t1.wall_ms, devices / (t1.wall_ms * 1e-3));
+  const Measurement t8 = run_fleet(spec, 8, true, shard, reps, &warm);
   std::printf("  fleet/t8        : %8.1f ms  (%.0f devices/s, %.2fx vs t1)\n",
               t8.wall_ms, devices / (t8.wall_ms * 1e-3), t1.wall_ms / t8.wall_ms);
+  const Measurement t1_scalar =
+      run_fleet(scalar_spec, 1, true, shard, reps, &warm, /*reuse=*/false);
+  std::printf("  fleet/t1-scalar : %8.1f ms  (batch/memo/reuse off, %.2fx "
+              "slower)\n",
+              t1_scalar.wall_ms, t1_scalar.wall_ms / t1.wall_ms);
+  const Measurement t1_cold = run_fleet(spec, 1, true, shard, reps);
+  std::printf("  fleet/t1-cold   : %8.1f ms  (builds in timed region)\n",
+              t1_cold.wall_ms);
 
-  const Measurement shared = run_fleet(small, 1, true, shard, reps);
-  const Measurement priv = run_fleet(small, 1, false, shard, reps);
+  // Reuse off: with processor pooling, a 24-device fleet builds only one
+  // processor (and so one private LUT) per model either way, which would
+  // flatten the comparison — these legs isolate the PR 3 LUT-cache economy.
+  const Measurement shared =
+      run_fleet(small, 1, true, shard, reps, nullptr, /*reuse=*/false);
+  const Measurement priv =
+      run_fleet(small, 1, false, shard, reps, nullptr, /*reuse=*/false);
   std::printf("  lut_shared/t1   : %8.1f ms  (%d devices, %llu builds)\n",
               shared.wall_ms, nocache_devices,
               static_cast<unsigned long long>(shared.lut_builds));
@@ -166,10 +215,15 @@ int main(int argc, char** argv) {
   w.begin_array();
   write_result(w, "fleet/t1", devices, 1, true, t1);
   write_result(w, "fleet/t8", devices, 8, true, t8);
+  write_result(w, "fleet/t1-scalar", devices, 1, true, t1_scalar);
+  write_result(w, "fleet/t1-cold", devices, 1, true, t1_cold);
   write_result(w, "lut_shared/t1", nocache_devices, 1, true, shared);
   write_result(w, "lut_private/t1", nocache_devices, 1, false, priv);
   w.end_array();
+  w.field("lut_warm_ms", lut_warm_ms);
   w.field("speedup_t8_vs_t1", t1.wall_ms / t8.wall_ms);
+  w.field("batched_speedup_t1", t1_scalar.wall_ms / t1.wall_ms);
+  w.field("cold_vs_warm_t1", t1_cold.wall_ms / t1.wall_ms);
   w.field("lut_sharing_speedup", priv.wall_ms / shared.wall_ms);
   w.end_object();
   out << '\n';

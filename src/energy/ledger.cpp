@@ -28,7 +28,20 @@ ComponentId EnergyLedger::register_component(std::string name) {
 
 void EnergyLedger::add(ComponentId c, Activity a, Energy e) {
   assert(c.valid() && c.idx_ < names_.size());
-  pj_[c.idx_ * kActivities + static_cast<std::size_t>(a)] += e.as_pj();
+  const std::size_t cell = c.idx_ * kActivities + static_cast<std::size_t>(a);
+  pj_[cell] += e.as_pj();
+  if (record_ != nullptr) {
+    record_->push_back(RecordedPost{static_cast<std::uint32_t>(cell), e.as_pj()});
+  }
+}
+
+void EnergyLedger::replay(const std::vector<RecordedPost>& posts, int repeats) {
+  for (int r = 0; r < repeats; ++r) {
+    for (const RecordedPost& p : posts) {
+      assert(p.cell < pj_.size());
+      pj_[p.cell] += p.pj;
+    }
+  }
 }
 
 Energy EnergyLedger::total() const {

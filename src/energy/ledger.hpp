@@ -25,6 +25,16 @@ enum class Activity : std::uint8_t {
 
 [[nodiscard]] const char* to_string(Activity a);
 
+/// One recorded ledger posting: the flat accumulator cell it targeted and the
+/// exact amount added. Replaying a recorded sequence repeats the identical
+/// double additions in the identical order, so the final accumulator bits
+/// match a scalar re-execution exactly — the property the batched
+/// steady-state kernel (sys::Processor::run_tasks_batched) is built on.
+struct RecordedPost {
+  std::uint32_t cell = 0;  ///< index into the ledger's accumulator array
+  double pj = 0.0;
+};
+
 /// Opaque handle returned by EnergyLedger::register_component.
 class ComponentId {
  public:
@@ -46,6 +56,22 @@ class EnergyLedger {
 
   /// Posts dynamic energy consumed by one or more events.
   void add(ComponentId c, Activity a, Energy e);
+
+  // --- Post recording / replay (batched-execution fast path) ---------------
+  // While recording, every add() also appends its (cell, amount) to `sink`.
+  // replay() re-applies a recorded sequence `repeats` times with plain
+  // double additions — bit-identical to calling add() again with the same
+  // arguments, at a fraction of the cost of re-simulating the work that
+  // produced the posts. Single-threaded, like the ledger itself.
+
+  /// Starts recording into `sink` (not owned; must outlive the recording).
+  /// Recording while already recording replaces the sink.
+  void begin_recording(std::vector<RecordedPost>* sink) { record_ = sink; }
+  void end_recording() { record_ = nullptr; }
+  [[nodiscard]] bool recording() const { return record_ != nullptr; }
+
+  /// Re-applies `posts` `repeats` times, preserving per-cell add order.
+  void replay(const std::vector<RecordedPost>& posts, int repeats);
 
   /// Posts leakage: power integrated over a powered-on interval.
   void add_leakage(ComponentId c, Power p, Time duration) {
@@ -72,6 +98,7 @@ class EnergyLedger {
   static constexpr std::size_t kActivities = static_cast<std::size_t>(Activity::kCount);
   std::vector<std::string> names_;
   std::vector<double> pj_;  // names_.size() * kActivities, row-major
+  std::vector<RecordedPost>* record_ = nullptr;  // active recording sink, if any
 };
 
 /// Tracks the powered intervals of one leaky component and posts the
@@ -95,9 +122,36 @@ class LeakageTracker {
   /// of its banks). Settles the elapsed interval at the old power first.
   void set_power(Power leakage, Time now);
 
+  /// Steady-state advance (batched execution): shifts the open-interval
+  /// anchor by `anchor_shift` (no-op while off) and credits `extra_on` of
+  /// already-posted on-time. The caller has replayed the matching leakage
+  /// posts through EnergyLedger::replay; this keeps the tracker's integer
+  /// state consistent with them. Exact — all quantities are integer ps.
+  void fast_forward(Time anchor_shift, Time extra_on) {
+    if (on_) on_since_ += anchor_shift;
+    total_on_ += extra_on;
+  }
+
+  /// Returns the tracker to its just-constructed state at `leakage` power:
+  /// off, zero accumulated on-time, nothing posted. Part of
+  /// sys::Processor::reset() — callers must reset the ledger separately.
+  void reset(Power leakage) {
+    leakage_ = leakage;
+    on_ = false;
+    on_since_ = Time::zero();
+    total_on_ = Time::zero();
+  }
+
   [[nodiscard]] bool is_on() const { return on_; }
   [[nodiscard]] Time total_on_time() const { return total_on_; }
   [[nodiscard]] Power leakage() const { return leakage_; }
+  /// Start of the currently-open leakage interval (last power_on / settle /
+  /// set_power while on). Stale while off. The batched kernel diffs two
+  /// anchor readings to learn whether a steady-state interval touched this
+  /// tracker (per-burst gating advances the anchor every period) or left it
+  /// running (retention at constant power — anchor frozen until the final
+  /// settle), and shifts by exactly that delta in fast_forward().
+  [[nodiscard]] Time anchor() const { return on_since_; }
 
  private:
   EnergyLedger* ledger_;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "energy/ledger.hpp"
@@ -24,11 +25,25 @@ placement::LutCache* Runner::resolve_lut_cache() const {
                                        : &placement::LutCache::process_cache();
 }
 
+sys::Processor& ProcessorPool::acquire(const sys::SystemConfig& config,
+                                       const nn::Model& model) {
+  const std::uint64_t key = sys::processor_reuse_key(config, model);
+  auto it = pool_.find(key);
+  if (it == pool_.end()) {
+    it = pool_.emplace(key, std::make_unique<sys::Processor>(config, model)).first;
+    return *it->second;
+  }
+  it->second->reset();
+  return *it->second;
+}
+
 RunResult Runner::execute(const RunSpec& spec, bool keep_slices,
-                          placement::LutCache* lut_cache) {
+                          placement::LutCache* lut_cache, ProcessorPool* pool) {
   sys::SystemConfig config = spec.config;
   if (config.lut_cache == nullptr) config.lut_cache = lut_cache;
-  sys::Processor proc{config, spec.model};
+  std::optional<sys::Processor> local;
+  sys::Processor& proc = pool != nullptr ? pool->acquire(config, spec.model)
+                                         : local.emplace(config, spec.model);
   const sys::RunStats stats = proc.run_scenario(spec.loads);
   const energy::EnergyLedger& ledger = proc.ledger();
 
@@ -76,9 +91,11 @@ ResultSet Runner::run_all(std::vector<RunSpec> runs) const {
   placement::LutCache* const lut_cache = resolve_lut_cache();
   std::exception_ptr first_error;
   if (workers <= 1) {
+    ProcessorPool pool;
+    ProcessorPool* const pool_ptr = options_.reuse_processors ? &pool : nullptr;
     for (std::size_t i = 0; i < runs.size(); ++i) {
       try {
-        results[i] = execute(runs[i], options_.keep_slices, lut_cache);
+        results[i] = execute(runs[i], options_.keep_slices, lut_cache, pool_ptr);
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
       }
@@ -87,7 +104,10 @@ ResultSet Runner::run_all(std::vector<RunSpec> runs) const {
     std::atomic<std::size_t> next{0};
     std::mutex error_mutex;
     const bool keep_slices = options_.keep_slices;
+    const bool reuse = options_.reuse_processors;
     auto worker = [&] {
+      ProcessorPool pool;  // per-worker: no synchronization, no sharing
+      ProcessorPool* const pool_ptr = reuse ? &pool : nullptr;
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= runs.size()) return;
@@ -96,7 +116,7 @@ ResultSet Runner::run_all(std::vector<RunSpec> runs) const {
           // echoes the original grid coordinate and may be sparse when the
           // caller passes a filtered subset), so output order always matches
           // input order regardless of completion order.
-          results[i] = execute(runs[i], keep_slices, lut_cache);
+          results[i] = execute(runs[i], keep_slices, lut_cache, pool_ptr);
         } catch (...) {
           const std::lock_guard<std::mutex> lock{error_mutex};
           if (!first_error) first_error = std::current_exception();

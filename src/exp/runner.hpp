@@ -2,12 +2,13 @@
 //
 // Executes the independent RunSpecs of an expanded ExperimentSpec on a fixed
 // pool of N worker threads (no work stealing: workers claim the next grid
-// index from a shared atomic counter). Each run constructs its *own*
-// sys::Processor — the single-threaded invariant of sim::Engine and the
-// Processor's internal state is preserved per run — and writes its RunResult
-// into a pre-sized vector at the run's grid index. Results are therefore
-// bit-identical regardless of thread count or completion order; only
-// wall-clock changes.
+// index from a shared atomic counter). Each run executes on its worker's
+// *own* sys::Processor — reused across runs sharing a (config, model) via a
+// per-worker ProcessorPool (RunnerOptions::reuse_processors, default on; a
+// reset() Processor is bit-exchangeable for a fresh one), or constructed
+// per run with reuse off — and writes its RunResult into a pre-sized vector
+// at the run's grid index. Results are therefore bit-identical regardless
+// of thread count, completion order or reuse; only wall-clock changes.
 //
 // Thread safety: a Runner is immutable after construction — run()/run_all()
 // may be called concurrently from multiple threads (each call spins up its
@@ -20,6 +21,9 @@
 // served by the cache.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "exp/result.hpp"
@@ -30,6 +34,27 @@ class LutCache;  // placement/lut_cache.hpp — only a pointer is stored here
 }
 
 namespace hhpim::exp {
+
+/// Per-worker pool of reusable sys::Processors, keyed by
+/// sys::processor_reuse_key(config, model). acquire() constructs on first
+/// use and Processor::reset()s on every later hit, so grid cells sharing a
+/// (model, arch, config) stop paying CostModel::build + cluster
+/// construction per run. Results are bit-identical to fresh construction
+/// (pinned by tests/test_batched.cpp). Not thread-safe — one pool per
+/// worker thread.
+class ProcessorPool {
+ public:
+  /// The pooled processor for (config, model), reset and ready to run.
+  /// `config.lut_cache` must already be resolved by the caller (it is part
+  /// of the key).
+  [[nodiscard]] sys::Processor& acquire(const sys::SystemConfig& config,
+                                        const nn::Model& model);
+
+  [[nodiscard]] std::size_t size() const { return pool_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::unique_ptr<sys::Processor>> pool_;
+};
 
 struct RunnerOptions {
   /// Worker threads. 0 = one per hardware thread (min 1); 1 = run inline on
@@ -45,6 +70,11 @@ struct RunnerOptions {
   /// Cache used when `share_luts` (not owned; must outlive the grid run).
   /// nullptr = the process-wide placement::LutCache::process_cache().
   placement::LutCache* lut_cache = nullptr;
+  /// Reuse one Processor per (config, model) per worker (ProcessorPool):
+  /// repeated grid cells skip CostModel::build and cluster construction.
+  /// Results are byte-identical with reuse on or off; only wall-clock
+  /// changes.
+  bool reuse_processors = true;
 };
 
 class Runner {
@@ -63,9 +93,12 @@ class Runner {
   /// Executes one run on the calling thread. Exposed for tests and for
   /// callers embedding single runs in their own loops. `lut_cache` (may be
   /// nullptr = uncached) is consulted unless the RunSpec's SystemConfig
-  /// already names a cache of its own.
+  /// already names a cache of its own. `pool` (may be nullptr = construct a
+  /// fresh Processor) supplies a reused Processor for the run's
+  /// (config, model).
   [[nodiscard]] static RunResult execute(const RunSpec& spec, bool keep_slices = false,
-                                         placement::LutCache* lut_cache = nullptr);
+                                         placement::LutCache* lut_cache = nullptr,
+                                         ProcessorPool* pool = nullptr);
 
   [[nodiscard]] const RunnerOptions& options() const { return options_; }
   /// The cache this runner's options resolve to (nullptr when sharing off).

@@ -7,10 +7,8 @@
 
 namespace hhpim::fleet {
 
-namespace {
-
-sys::SystemConfig device_config(const FleetSpec& fleet,
-                                placement::LutCache* lut_cache) {
+sys::SystemConfig Device::device_config(const FleetSpec& fleet,
+                                        placement::LutCache* lut_cache) {
   sys::SystemConfig c = fleet.config;
   // The spec's own lut_cache is rejected by FleetSpec::validate(); the
   // simulator's resolved cache (may be null = private builds) is the only
@@ -19,24 +17,36 @@ sys::SystemConfig device_config(const FleetSpec& fleet,
   return c;
 }
 
-}  // namespace
-
 Device::Device(const FleetSpec& fleet, const DeviceSpec& spec,
                const nn::Model& model, placement::LutCache* lut_cache)
     : fleet_(fleet),
       spec_(spec),
       model_(model),
-      proc_(device_config(fleet, lut_cache), model),
+      owned_(std::in_place, device_config(fleet, lut_cache), model),
+      proc_(&*owned_),
       battery_(fleet.battery),
       policy_(fleet.thresholds),
       low_power_alloc_(fleet.adapt
-                           ? sys::balanced_mram_split(proc_.cost_model(),
-                                                      proc_.total_weights())
+                           ? sys::balanced_mram_split(proc_->cost_model(),
+                                                      proc_->total_weights())
+                           : placement::Allocation{}) {}
+
+Device::Device(const FleetSpec& fleet, const DeviceSpec& spec,
+               const nn::Model& model, sys::Processor& proc)
+    : fleet_(fleet),
+      spec_(spec),
+      model_(model),
+      proc_(&proc),
+      battery_(fleet.battery),
+      policy_(fleet.thresholds),
+      low_power_alloc_(fleet.adapt
+                           ? sys::balanced_mram_split(proc_->cost_model(),
+                                                      proc_->total_weights())
                            : placement::Allocation{}) {}
 
 DeviceResult Device::run(FleetAggregate* agg) {
   const std::vector<int> loads = device_loads(spec_);
-  const Time slice = proc_.slice_length();
+  const Time slice = proc_->slice_length();
 
   DeviceResult r;
   r.id = spec_.id;
@@ -54,14 +64,14 @@ DeviceResult Device::run(FleetAggregate* agg) {
     DeviceMode mode = DeviceMode::kDynamic;
     if (fleet_.adapt) {
       mode = policy_.update(battery_.soc());
-      if (mode == DeviceMode::kLowPower && !proc_.placement_override_active()) {
-        proc_.set_placement_override(low_power_alloc_);
-      } else if (mode == DeviceMode::kDynamic && proc_.placement_override_active()) {
-        proc_.set_placement_override(std::nullopt);
+      if (mode == DeviceMode::kLowPower && !proc_->placement_override_active()) {
+        proc_->set_placement_override(low_power_alloc_);
+      } else if (mode == DeviceMode::kDynamic && proc_->placement_override_active()) {
+        proc_->set_placement_override(std::nullopt);
       }
     }
 
-    const sys::SliceStats s = proc_.run_slice(buffered);
+    const sys::SliceStats s = proc_->run_slice(buffered);
     const Energy requested = s.energy;
     const Energy drained = battery_.drain(requested);
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "energy/battery.hpp"
@@ -75,18 +76,34 @@ class Device {
   Device(const FleetSpec& fleet, const DeviceSpec& spec, const nn::Model& model,
          placement::LutCache* lut_cache);
 
+  /// Processor-reuse variant (FleetOptions::reuse_processors): runs on
+  /// `proc`, a pooled processor built from the same (fleet config, model)
+  /// pair, already reset() by the caller. `proc` must outlive the Device.
+  /// Results are bit-identical to the owning constructor (reset ==
+  /// fresh construction; pinned by tests/test_batched.cpp).
+  Device(const FleetSpec& fleet, const DeviceSpec& spec, const nn::Model& model,
+         sys::Processor& proc);
+
   /// Executes the device's whole stream. Per-slice samples are accumulated
   /// into `agg` (may be null). Call once.
   DeviceResult run(FleetAggregate* agg);
 
-  [[nodiscard]] const sys::Processor& processor() const { return proc_; }
+  /// The SystemConfig a device of `fleet` runs under: the fleet's shared
+  /// config with the simulator-resolved LUT cache plugged in. What both
+  /// constructors build from — exposed so FleetSimulator's processor pool
+  /// constructs identical processors.
+  [[nodiscard]] static sys::SystemConfig device_config(
+      const FleetSpec& fleet, placement::LutCache* lut_cache);
+
+  [[nodiscard]] const sys::Processor& processor() const { return *proc_; }
   [[nodiscard]] const energy::Battery& battery() const { return battery_; }
 
  private:
   const FleetSpec& fleet_;
   const DeviceSpec& spec_;
   const nn::Model& model_;
-  sys::Processor proc_;
+  std::optional<sys::Processor> owned_;  ///< engaged by the owning constructor
+  sys::Processor* proc_;                 ///< the processor this device runs on
   energy::Battery battery_;
   AdaptivePolicy policy_;
   placement::Allocation low_power_alloc_;

@@ -162,7 +162,12 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
   std::mutex error_mutex;
   std::atomic<std::size_t> next{0};
 
-  auto run_shard = [&](std::size_t s) {
+  // One reusable processor per model per worker (reuse_processors): the
+  // fleet config is shared, so (config, model_index) fully determines a
+  // device's processor. Workers own their pools — no synchronization.
+  using ProcessorPool = std::vector<std::unique_ptr<sys::Processor>>;
+
+  auto run_shard = [&](std::size_t s, ProcessorPool* pool) {
     const std::size_t begin = s * shard_size;
     const std::size_t end = std::min(n, begin + shard_size);
     FleetAggregate agg{spec.histograms};
@@ -172,8 +177,21 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
 
     for (std::size_t i = begin; i < end; ++i) {
       const DeviceSpec& ds = device_specs[i];
-      Device dev{spec, ds, models[ds.model_index], cache};
-      DeviceResult r = dev.run(&agg);
+      DeviceResult r;
+      if (pool != nullptr) {
+        std::unique_ptr<sys::Processor>& slot = (*pool)[ds.model_index];
+        if (slot == nullptr) {
+          slot = std::make_unique<sys::Processor>(
+              Device::device_config(spec, cache), models[ds.model_index]);
+        } else {
+          slot->reset();
+        }
+        Device dev{spec, ds, models[ds.model_index], *slot};
+        r = dev.run(&agg);
+      } else {
+        Device dev{spec, ds, models[ds.model_index], cache};
+        r = dev.run(&agg);
+      }
       if (options_.keep_results) {
         result.devices[i] = std::move(r);
       } else if (stream) {
@@ -198,11 +216,13 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
   };
 
   auto worker = [&] {
+    ProcessorPool pool(options_.reuse_processors ? models.size() : 0);
+    ProcessorPool* const pool_ptr = options_.reuse_processors ? &pool : nullptr;
     for (;;) {
       const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
       if (s >= shards) return;
       try {
-        run_shard(s);
+        run_shard(s, pool_ptr);
       } catch (...) {
         const std::lock_guard<std::mutex> lock{error_mutex};
         if (!first_error) first_error = std::current_exception();
@@ -230,8 +250,19 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
 
   if (cache != nullptr) {
     const placement::LutCache::Stats after = cache->stats();
+    // Builds: one cache miss per new key, regardless of thread count or
+    // processor reuse (concurrent first touches dedup through the cache's
+    // build future). Shared: the devices that ran on a LUT they didn't
+    // build. Raw hit counts would vary with threads under processor reuse
+    // (each worker's pool probes the cache once per model it encounters),
+    // so the shared count is derived instead — keeping the summary JSON
+    // byte-identical at any thread count.
     result.lut_builds = after.misses - stats_before.misses;
-    result.lut_shared = after.hits - stats_before.hits;
+    const auto devices = static_cast<std::uint64_t>(n);
+    result.lut_shared = spec.config.arch.kind == sys::ArchKind::kHhpim &&
+                                devices >= result.lut_builds
+                            ? devices - result.lut_builds
+                            : 0;
   }
   return result;
 }

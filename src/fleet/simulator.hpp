@@ -59,6 +59,12 @@ struct FleetOptions {
   /// Retain per-device results in FleetResult::devices. Turn off for very
   /// large fleets streamed to shard files — aggregates are kept either way.
   bool keep_results = true;
+  /// Reuse one sys::Processor per model per worker: devices sharing the
+  /// fleet config and a model run on a reset() processor instead of paying
+  /// CostModel::build + cluster construction each (Processor::reset ==
+  /// fresh construction; pinned by tests/test_batched.cpp). Results are
+  /// byte-identical with reuse on or off; only wall-clock changes.
+  bool reuse_processors = true;
 };
 
 struct FleetResult {
@@ -68,9 +74,12 @@ struct FleetResult {
   FleetAggregate aggregate;
   std::size_t shard_count = 0;
   std::size_t shard_size = 0;
-  /// LUT-cache activity attributable to this run (stats delta): `builds`
-  /// counts LUTs actually constructed, `shared` the device constructions
-  /// served from cache. builds ≪ devices is the fleet's whole economy.
+  /// LUT-cache economy of this run: `builds` counts LUTs actually
+  /// constructed (cache-stats delta — exactly one per new key regardless of
+  /// thread count), `shared` the devices whose LUT came from a shared build
+  /// (devices - builds for an HH-PIM fleet with a cache; 0 otherwise).
+  /// Both are deterministic at any thread count and with processor reuse on
+  /// or off. builds ≪ devices is the fleet's whole economy.
   std::uint64_t lut_builds = 0;
   std::uint64_t lut_shared = 0;
 

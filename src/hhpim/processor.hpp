@@ -10,6 +10,8 @@
 // and clusters run in parallel.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -57,6 +59,18 @@ struct SystemConfig {
   /// are byte-identical either way (pinned by tests/test_lut_cache.cpp).
   placement::LutCache* lut_cache = nullptr;
   placement::MovementParams movement{};
+  /// Execute each slice's identical buffered tasks through the batched
+  /// steady-state kernel (Processor::run_tasks_batched): tasks 1–2 run
+  /// scalar, tasks 3..n are applied by replaying task 2's recorded ledger
+  /// posts and integer state deltas. Results are bit-identical to the
+  /// scalar loop (pinned by tests/test_batched.cpp); only wall-clock
+  /// changes. Off = always run the scalar per-task loop (A/B benches).
+  bool batched_execution = true;
+  /// Memoize placement decisions per (current allocation, n_tasks) pair
+  /// within a run — PlacementPolicy::decide is required to be pure (see
+  /// scheduler.hpp), so repeated slice states skip the LUT probe and
+  /// movement planning. Byte-identical results; off for A/B benches.
+  bool memoize_decisions = true;
 };
 
 /// Per-slice measurement record.
@@ -122,6 +136,17 @@ class Processor {
   /// execute in slice k+1; one trailing slice drains the buffer.
   RunStats run_scenario(const std::vector<int>& loads);
 
+  /// Re-arms the processor to its just-constructed state: ledger zeroed,
+  /// clusters/banks/PEs/allocators back to pristine power and counter
+  /// state, clock and slice index at zero, any placement override and memo
+  /// cleared, and the policy's initial residency re-applied. Subsequent
+  /// runs produce bit-identical results to a freshly constructed Processor
+  /// (pinned by tests/test_batched.cpp) — this is what lets exp::Runner and
+  /// fleet::FleetSimulator reuse one Processor per (config, model) per
+  /// worker instead of paying CostModel::build + cluster construction per
+  /// run. Cost: O(components); no allocation, no LUT work.
+  void reset();
+
   [[nodiscard]] Time slice_length() const { return slice_; }
   [[nodiscard]] const placement::CostModel& cost_model() const { return cost_; }
   [[nodiscard]] const energy::EnergyLedger& ledger() const { return ledger_; }
@@ -148,9 +173,24 @@ class Processor {
   /// but plans/charges movement from the current residency.
   [[nodiscard]] SliceDecision decide_override(const placement::Allocation& target,
                                               int n_tasks) const;
-  /// Runs one task under the current placement starting at `start`;
+  /// The slice's decision — memoized per (current allocation, n_tasks) when
+  /// `memoize_decisions` is on, computed fresh otherwise.
+  [[nodiscard]] const SliceDecision& slice_decision(int n_tasks);
+  /// Per-space MAC shares of one task under the current placement. Shares
+  /// sum to exactly pim_macs_ (largest-remainder rounding). Returns false
+  /// when there is nothing to compute.
+  bool task_shares(std::array<std::uint64_t, placement::kSpaceCount>& macs) const;
+  /// Runs one task (shares precomputed by task_shares) starting at `start`;
   /// returns its completion time.
-  Time run_task(Time start);
+  Time run_task(Time start,
+                const std::array<std::uint64_t, placement::kSpaceCount>& macs);
+  /// Runs the slice's `n_tasks` identical tasks starting at `cursor`:
+  /// scalar for n <= 2 (and when batching is off), otherwise via
+  /// pim::Cluster::compute_batch (single active space) or the generic
+  /// record/replay steady-state kernel (task 1 absorbs boundary state,
+  /// task 2 is recorded, tasks 3..n replayed). Bit-identical to the scalar
+  /// loop; see docs/PERF.md.
+  Time run_tasks_batched(Time cursor, int n_tasks);
 
   [[nodiscard]] pim::Cluster* cluster_of(placement::Space s);
 
@@ -170,6 +210,29 @@ class Processor {
   placement::Allocation current_;
   Time now_ = Time::zero();
   int slice_index_ = 0;
+
+  /// Decision memo: (current allocation, n_tasks) -> SliceDecision. Small
+  /// and linearly scanned — steady-state runs cycle through a handful of
+  /// (alloc, load) pairs. Cleared by reset() and set_placement_override().
+  struct MemoEntry {
+    placement::Allocation current;
+    int n_tasks = 0;
+    SliceDecision decision;
+  };
+  static constexpr std::size_t kMemoCapacity = 64;
+  std::vector<MemoEntry> memo_;
+  SliceDecision scratch_decision_;  ///< fallback when the memo is bypassed
+
+  // Scratch buffers for the batched kernel, reused across slices.
+  std::vector<energy::RecordedPost> replay_posts_;
+  std::vector<pim::ModuleCounters> probe_;
 };
+
+/// Digest of every (config, model) field that determines a Processor's
+/// behavior — equal keys mean a reset() Processor built from one pair is
+/// bit-exchangeable for a fresh Processor built from the other. Used by the
+/// experiment runner's per-worker processor pool (exp::ProcessorPool).
+[[nodiscard]] std::uint64_t processor_reuse_key(const SystemConfig& config,
+                                                const nn::Model& model);
 
 }  // namespace hhpim::sys

@@ -37,6 +37,13 @@ class PlacementPolicy {
 
   /// Decides the placement for a slice executing `n_tasks` buffered tasks,
   /// transitioning from `current`.
+  ///
+  /// Contract: decide() must be a pure function of (current, n_tasks) and
+  /// construction-time state — no per-call mutable state. sys::Processor
+  /// memoizes decisions per (current, n_tasks) pair when
+  /// SystemConfig::memoize_decisions is on (the default), so a stateful
+  /// policy would silently see stale decisions. Both shipped policies
+  /// (StaticPolicy, DynamicLutPolicy) are pure.
   virtual SliceDecision decide(const placement::Allocation& current, int n_tasks) = 0;
 
   /// Initial placement at application start.

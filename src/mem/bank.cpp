@@ -39,7 +39,10 @@ void Bank::power_off(Time now) {
   active_bytes_ = 0;
   if (config_.kind == energy::MemoryKind::kSram) {
     data_valid_ = false;
-    std::fill(storage_.begin(), storage_.end(), 0);
+    if (storage_dirty_) {
+      std::fill(storage_.begin(), storage_.end(), 0);
+      storage_dirty_ = false;
+    }
   }
 }
 
@@ -112,6 +115,7 @@ AccessResult Bank::write(Time now, std::size_t addr, std::size_t words,
   if (data != nullptr) {
     std::copy_n(data, words * config_.word_bytes,
                 storage_.begin() + static_cast<std::ptrdiff_t>(addr));
+    storage_dirty_ = true;
   }
   data_valid_ = true;
   return r;
@@ -146,6 +150,27 @@ void Bank::poke(std::size_t addr, std::uint8_t value) {
   }
   storage_[addr] = value;
   data_valid_ = true;
+  storage_dirty_ = true;
+}
+
+void Bank::fast_forward(Time anchor_shift, Time extra_on, std::uint64_t extra_reads,
+                        std::uint64_t extra_writes) {
+  tracker_.fast_forward(anchor_shift, extra_on);
+  reads_ += extra_reads;
+  writes_ += extra_writes;
+}
+
+void Bank::reset_accounting() {
+  tracker_.reset(leakage_power());
+  active_bytes_ = 0;
+  data_valid_ = false;
+  busy_until_ = Time::zero();
+  reads_ = 0;
+  writes_ = 0;
+  if (storage_dirty_) {
+    std::fill(storage_.begin(), storage_.end(), 0);
+    storage_dirty_ = false;
+  }
 }
 
 Energy Bank::dynamic_energy() const {

@@ -74,6 +74,8 @@ class Bank {
   /// Closes the open leakage interval (end of simulation / checkpoint).
   void settle(Time now) { tracker_.settle(now); }
   [[nodiscard]] Time total_on_time() const { return tracker_.total_on_time(); }
+  /// Leakage-interval anchor (see LeakageTracker::anchor).
+  [[nodiscard]] Time leakage_anchor() const { return tracker_.anchor(); }
 
   // --- Timed accesses ------------------------------------------------------
 
@@ -95,6 +97,24 @@ class Bank {
 
   Energy charge_reads(std::uint64_t words);
   Energy charge_writes(std::uint64_t words);
+
+  // --- Steady-state fast path (batched execution / processor reuse) --------
+
+  /// Advances the accounting state by `repeats` periods of a recorded
+  /// steady-state interval: the leakage tracker's open anchor shifts by
+  /// `anchor_shift` per period and `extra_on` / `extra_reads` /
+  /// `extra_writes` are the per-period deltas. The caller replays the
+  /// matching energy posts through EnergyLedger::replay; this keeps the
+  /// bank's counters consistent with them. The access timeline
+  /// (busy_until()) is not touched — burst-model callers own their own
+  /// serialization.
+  void fast_forward(Time anchor_shift, Time extra_on, std::uint64_t extra_reads,
+                    std::uint64_t extra_writes);
+
+  /// Returns power/accounting state to just-constructed: gated, zero
+  /// counters and on-time, contents invalid (SRAM semantics) and zeroed if
+  /// ever written. The owning processor resets the ledger separately.
+  void reset_accounting();
 
   // --- Untimed (functional) accesses — used by the RISC-V bus --------------
 
@@ -118,6 +138,10 @@ class Bank {
   std::vector<std::uint8_t> storage_;
   std::size_t active_bytes_ = 0;
   bool data_valid_ = false;
+  /// True once storage_ may differ from all-zero (set by write()/poke());
+  /// lets power_off skip the SRAM-content wipe for accounting-only workloads
+  /// that gate banks every burst without ever storing data.
+  bool storage_dirty_ = false;
   Time busy_until_ = Time::zero();
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;

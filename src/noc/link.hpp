@@ -38,6 +38,13 @@ class Link {
   /// Serialization time of a payload on an idle link (excludes latency).
   [[nodiscard]] Time serialization_time(std::uint64_t bytes) const;
 
+  /// Returns timing/counters to just-constructed (processor reuse; the
+  /// owning processor resets the ledger separately).
+  void reset_accounting() {
+    busy_until_ = Time::zero();
+    bytes_moved_ = 0;
+  }
+
  private:
   LinkConfig config_;
   energy::EnergyLedger* ledger_;

@@ -33,6 +33,8 @@ class ProcessingElement {
   void settle(Time now) { tracker_.settle(now); }
   [[nodiscard]] bool is_on() const { return tracker_.is_on(); }
   [[nodiscard]] Time total_on_time() const { return tracker_.total_on_time(); }
+  /// Leakage-interval anchor (see LeakageTracker::anchor).
+  [[nodiscard]] Time leakage_anchor() const { return tracker_.anchor(); }
 
   // --- Timed compute -------------------------------------------------------
 
@@ -54,6 +56,23 @@ class ProcessingElement {
 
   [[nodiscard]] Time busy_until() const { return busy_until_; }
   [[nodiscard]] std::uint64_t mac_count() const { return macs_; }
+
+  /// Steady-state advance (batched execution): shifts the leakage anchor by
+  /// `anchor_shift`, credits `extra_on` of already-posted on-time and
+  /// `extra_macs` MACs. The matching energy posts are replayed through
+  /// EnergyLedger::replay by the caller.
+  void fast_forward(Time anchor_shift, Time extra_on, std::uint64_t extra_macs) {
+    tracker_.fast_forward(anchor_shift, extra_on);
+    macs_ += extra_macs;
+  }
+
+  /// Returns accounting state to just-constructed (off, zero counters).
+  /// The owning processor resets the ledger separately.
+  void reset_accounting() {
+    tracker_.reset(spec_.leakage);
+    busy_until_ = Time::zero();
+    macs_ = 0;
+  }
 
   // --- Functional helpers --------------------------------------------------
 

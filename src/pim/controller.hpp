@@ -80,6 +80,16 @@ class PimController {
   /// Closes the controller leakage window.
   void settle(Time now) { tracker_.settle(now); }
 
+  /// Returns FSM/accounting state to just-constructed (processor reuse).
+  /// Queued instructions are not dropped — the slice-loop workload path
+  /// never enqueues any; program-driven callers manage the queue themselves.
+  void reset_accounting() {
+    tracker_.reset(config_.leakage);
+    allocator_.reset_accounting();
+    state_ = ControllerState::kIdle;
+    retired_ = 0;
+  }
+
  private:
   /// Applies `fn` to every module selected by `mask`.
   void for_selected(std::uint8_t mask, const std::function<void(PimModule&)>& fn);

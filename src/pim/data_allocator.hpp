@@ -62,6 +62,12 @@ class DataAllocator {
   [[nodiscard]] const DataAllocatorConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t total_weights_moved() const { return total_moved_; }
 
+  /// Returns timing/counters to just-constructed (processor reuse).
+  void reset_accounting() {
+    total_moved_ = 0;
+    mem_interface_.reset_accounting();
+  }
+
  private:
   /// One pipelined chunked transfer between two modules.
   Time run_transfer(Time now, const TransferRequest& req);

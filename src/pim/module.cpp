@@ -197,4 +197,69 @@ void PimModule::settle(Time now) {
   pe_.settle(now);
 }
 
+ModuleCounters ModuleCounters::delta(const ModuleCounters& before,
+                                     const ModuleCounters& after) {
+  ModuleCounters d;
+  d.busy_until = after.busy_until - before.busy_until;
+  d.mram_on = after.mram_on - before.mram_on;
+  d.sram_on = after.sram_on - before.sram_on;
+  d.pe_on = after.pe_on - before.pe_on;
+  d.mram_anchor = after.mram_anchor - before.mram_anchor;
+  d.sram_anchor = after.sram_anchor - before.sram_anchor;
+  d.pe_anchor = after.pe_anchor - before.pe_anchor;
+  d.mram_reads = after.mram_reads - before.mram_reads;
+  d.mram_writes = after.mram_writes - before.mram_writes;
+  d.sram_reads = after.sram_reads - before.sram_reads;
+  d.sram_writes = after.sram_writes - before.sram_writes;
+  d.macs = after.macs - before.macs;
+  return d;
+}
+
+ModuleCounters PimModule::counters() const {
+  ModuleCounters c;
+  c.busy_until = busy_until_;
+  if (mram_.has_value()) {
+    c.mram_on = mram_->total_on_time();
+    c.mram_anchor = mram_->leakage_anchor();
+    c.mram_reads = mram_->read_count();
+    c.mram_writes = mram_->write_count();
+  }
+  c.sram_on = sram_.total_on_time();
+  c.sram_anchor = sram_.leakage_anchor();
+  c.sram_reads = sram_.read_count();
+  c.sram_writes = sram_.write_count();
+  c.pe_on = pe_.total_on_time();
+  c.pe_anchor = pe_.leakage_anchor();
+  c.macs = pe_.mac_count();
+  return c;
+}
+
+void PimModule::fast_forward(const ModuleCounters& per_period, int repeats) {
+  // A module (or tracker) untouched over the recorded interval has a zero
+  // delta; shifting by zero keeps its state correct. Each tracker shifts by
+  // its *own* observed anchor delta — per-burst-gated trackers advance one
+  // period per task, retention trackers held at constant power stay frozen
+  // until the slice-end settle (see ModuleCounters).
+  const auto reps = static_cast<std::int64_t>(repeats);
+  busy_until_ += per_period.busy_until * reps;
+  if (mram_.has_value()) {
+    mram_->fast_forward(per_period.mram_anchor * reps, per_period.mram_on * reps,
+                        per_period.mram_reads * static_cast<std::uint64_t>(repeats),
+                        per_period.mram_writes * static_cast<std::uint64_t>(repeats));
+  }
+  sram_.fast_forward(per_period.sram_anchor * reps, per_period.sram_on * reps,
+                     per_period.sram_reads * static_cast<std::uint64_t>(repeats),
+                     per_period.sram_writes * static_cast<std::uint64_t>(repeats));
+  pe_.fast_forward(per_period.pe_anchor * reps, per_period.pe_on * reps,
+                   per_period.macs * static_cast<std::uint64_t>(repeats));
+}
+
+void PimModule::reset_accounting() {
+  busy_until_ = Time::zero();
+  resident_[0] = resident_[1] = 0;
+  if (mram_.has_value()) mram_->reset_accounting();
+  sram_.reset_accounting();
+  pe_.reset_accounting();
+}
+
 }  // namespace hhpim::pim

@@ -39,6 +39,29 @@ struct BurstResult {
   Time complete;
 };
 
+/// Integer accounting snapshot of one module, used by the batched
+/// steady-state kernel: the delta between two snapshots taken around one
+/// task is the exact per-task advance, and fast_forward() applies it
+/// `repeats` more times (all fields are integers, so repetition is exact).
+struct ModuleCounters {
+  Time busy_until;
+  Time mram_on;   ///< MRAM bank accumulated on-time
+  Time sram_on;   ///< SRAM bank accumulated on-time
+  Time pe_on;     ///< PE accumulated on-time
+  /// Leakage-interval anchors: a tracker gated per burst advances its
+  /// anchor by one period per task; a tracker held at constant power
+  /// (SRAM weight retention) leaves it frozen until the slice-end settle.
+  /// The delta tells fast_forward() which shift each tracker needs.
+  Time mram_anchor, sram_anchor, pe_anchor;
+  std::uint64_t mram_reads = 0, mram_writes = 0;
+  std::uint64_t sram_reads = 0, sram_writes = 0;
+  std::uint64_t macs = 0;
+
+  /// Per-period advance between two snapshots of the same module.
+  [[nodiscard]] static ModuleCounters delta(const ModuleCounters& before,
+                                            const ModuleCounters& after);
+};
+
 class PimModule {
  public:
   PimModule(ModuleConfig config, const energy::PowerSpec& spec,
@@ -97,6 +120,24 @@ class PimModule {
 
   /// Closes all leakage windows at `now` (end of measurement).
   void settle(Time now);
+
+  // --- Steady-state fast path (batched execution / processor reuse) --------
+
+  /// Current accounting snapshot (see ModuleCounters).
+  [[nodiscard]] ModuleCounters counters() const;
+
+  /// Advances the module by `repeats` periods of the steady-state interval
+  /// described by `per_period` (a ModuleCounters::delta): busy time and
+  /// leakage anchors shift by `per_period.busy_until` per period, counters
+  /// and on-times accumulate. The caller replays the matching energy posts
+  /// through EnergyLedger::replay — together the two restore exactly the
+  /// state `repeats` scalar re-executions of the recorded interval would
+  /// have produced (pinned by tests/test_batched.cpp).
+  void fast_forward(const ModuleCounters& per_period, int repeats);
+
+  /// Returns power/accounting state (banks, PE, busy time, residency) to
+  /// just-constructed. The owning processor resets the ledger separately.
+  void reset_accounting();
 
   /// Per-MAC latency when streaming from memory `m` (t_read + t_pe).
   [[nodiscard]] Time mac_latency(energy::MemoryKind m) const;

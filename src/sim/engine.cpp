@@ -33,24 +33,20 @@ EventHandle Engine::schedule_at(Time at, EventFn fn) {
   // Every live event occupies exactly one non-free slot (cancelled husks keep
   // theirs until popped), so occupancy bounds the live count.
   assert(live_events_ <= pool_.size() - free_slots_.size());
-  return EventHandle{raw->seq};
+  return EventHandle{raw->seq, raw->slot};
 }
 
 bool Engine::cancel(EventHandle h) {
-  if (!h.valid()) return false;
-  // Linear scan over the (small) slot pool; cancellation is rare and used
-  // only for timeout-style events. Recycled slots carry fresh seqs, and
+  if (!h.valid() || h.slot_ >= pool_.size()) return false;
+  // O(1): the handle names its slot. A recycled slot carries a fresh seq and
   // consumed/freed slots are marked cancelled, so stale handles never match.
-  for (auto& item : pool_) {
-    if (item->seq == h.seq_ && !item->cancelled) {
-      item->cancelled = true;
-      item->fn = nullptr;  // release captures eagerly
-      assert(live_events_ > 0);
-      --live_events_;
-      return true;
-    }
-  }
-  return false;
+  Item* item = pool_[h.slot_].get();
+  if (item->seq != h.seq_ || item->cancelled) return false;
+  item->cancelled = true;
+  item->fn = nullptr;  // release captures eagerly
+  assert(live_events_ > 0);
+  --live_events_;
+  return true;
 }
 
 void Engine::release_slot(Item* item) {

@@ -18,7 +18,10 @@ namespace hhpim::sim {
 
 using EventFn = std::function<void()>;
 
-/// Handle to a scheduled event; allows cancellation.
+/// Handle to a scheduled event; allows cancellation. Carries the event's
+/// pool slot so Engine::cancel is O(1); the sequence number validates
+/// staleness (a recycled slot carries a fresh seq, so a stale handle can
+/// never cancel the slot's new occupant).
 class EventHandle {
  public:
   EventHandle() = default;
@@ -26,8 +29,9 @@ class EventHandle {
 
  private:
   friend class Engine;
-  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  EventHandle(std::uint64_t seq, std::uint32_t slot) : seq_(seq), slot_(slot) {}
   std::uint64_t seq_ = 0;
+  std::uint32_t slot_ = 0;
 };
 
 /// The event loop. Components hold a reference to an Engine and schedule
@@ -49,8 +53,10 @@ class Engine {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a previously scheduled event. Returns false if the event has
-  /// already run, been cancelled, or the handle is invalid.
+  /// Cancels a previously scheduled event in O(1) (the handle names its
+  /// pool slot; the slot's live seq must match the handle's). Returns false
+  /// if the event has already run, been cancelled, or the handle is invalid
+  /// or stale (its slot was recycled by a later event).
   bool cancel(EventHandle h);
 
   /// Runs until the queue is empty. Returns the number of events executed.

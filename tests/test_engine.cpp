@@ -179,6 +179,35 @@ TEST(Engine, StaleHandleCannotCancelARecycledSlot) {
   EXPECT_TRUE(second_ran);
 }
 
+TEST(Engine, StaleHandleStaysDeadAcrossManyRecyclesOfItsSlot) {
+  // cancel() is O(1): the handle carries its slot, and only the slot's live
+  // seq can match. Recycle one slot many times (cancelled handle included)
+  // and check every dead handle stays dead while the live one works.
+  Engine e;
+  EventHandle cancelled = e.schedule_at(1_ns, [] {});
+  ASSERT_TRUE(e.cancel(cancelled));
+  EXPECT_FALSE(e.cancel(cancelled));  // double-cancel fails
+  e.run();                            // pops the husk, frees its slot
+
+  std::vector<EventHandle> dead;
+  dead.push_back(cancelled);
+  for (int round = 0; round < 10; ++round) {
+    // Single free slot -> each schedule reuses it with a fresh seq.
+    const EventHandle h = e.schedule_at(Time::ns(10.0 + round), [] {});
+    EXPECT_EQ(e.pool_slots(), 1u);
+    for (const EventHandle& d : dead) EXPECT_FALSE(e.cancel(d));
+    if (round % 2 == 0) {
+      EXPECT_TRUE(e.cancel(h));  // the live occupant is still cancellable
+      e.run();
+    } else {
+      e.run();
+      EXPECT_FALSE(e.cancel(h));  // already executed
+    }
+    dead.push_back(h);
+  }
+  EXPECT_FALSE(e.cancel(EventHandle{}));  // invalid handle
+}
+
 TEST(Engine, ManyEventsStressOrdering) {
   Engine e;
   Time last = Time::zero();

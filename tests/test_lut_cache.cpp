@@ -245,10 +245,25 @@ TEST(LutCacheIntegration, GridOutputByteIdenticalCachedVsUncached) {
   EXPECT_EQ(r_off.to_csv(), r_t8.to_csv());
   EXPECT_FALSE(r_off.to_json().empty());
 
-  // 6 HH-PIM runs over 3 distinct models: exactly 3 builds each cache.
+  // 6 HH-PIM runs over 3 distinct models: exactly 3 builds each cache. With
+  // processor reuse (the default), each worker probes the cache once per
+  // (config, model) it constructs a processor for — at 1 thread that is 3
+  // probes, all builds, zero hits.
   EXPECT_EQ(cache1.stats().misses, 3u);
-  EXPECT_EQ(cache1.stats().hits, 3u);
+  EXPECT_EQ(cache1.stats().hits, 0u);
   EXPECT_EQ(cache8.stats().misses, 3u);
+
+  // With reuse off, every HH-PIM run constructs its own processor and the
+  // repeated (model, arch) pairs resolve as cache hits — the PR 3 economy.
+  LutCache cache_nr;
+  exp::RunnerOptions no_reuse;
+  no_reuse.threads = 1;
+  no_reuse.lut_cache = &cache_nr;
+  no_reuse.reuse_processors = false;
+  const exp::ResultSet r_nr = exp::Runner{no_reuse}.run(spec);
+  EXPECT_EQ(r_off.to_json(), r_nr.to_json());
+  EXPECT_EQ(cache_nr.stats().misses, 3u);
+  EXPECT_EQ(cache_nr.stats().hits, 3u);
 }
 
 }  // namespace

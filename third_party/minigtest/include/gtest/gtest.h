@@ -4,8 +4,8 @@
 // package, no /usr/src/googletest, no network for FetchContent) — see
 // cmake/GTestSetup.cmake. It implements exactly the API surface the suites in
 // tests/ use: TEST / TEST_F / TEST_P + INSTANTIATE_TEST_SUITE_P with
-// Range/Values/Combine, the EXPECT_* / ASSERT_* families below, and
-// GTEST_SKIP. It is not a general gtest replacement.
+// Range/Values/Combine, the EXPECT_* / ASSERT_* families below,
+// SCOPED_TRACE and GTEST_SKIP. It is not a general gtest replacement.
 #ifndef MINIGTEST_GTEST_H_
 #define MINIGTEST_GTEST_H_
 
@@ -30,6 +30,23 @@ struct FatalFailure {};
 
 void ReportFailure(const char* file, int line, const std::string& message);
 void MarkSkipped(const std::string& message);
+
+// Active SCOPED_TRACE frames; ReportFailure appends them to each message.
+std::vector<std::string>& TraceStack();
+
+/// RAII frame for SCOPED_TRACE(message).
+class ScopedTrace {
+ public:
+  template <typename T>
+  ScopedTrace(const char* file, int line, const T& message) {
+    std::ostringstream os;
+    os << file << ":" << line << ": " << message;
+    TraceStack().push_back(os.str());
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+  ~ScopedTrace() { TraceStack().pop_back(); }
+};
 
 // Destructor-reporting failure sink so `EXPECT_EQ(a, b) << "context"` works.
 class Failure {
@@ -240,6 +257,14 @@ int RunAllTestsImpl();
 }  // namespace testing
 
 #define RUN_ALL_TESTS() ::testing::RunAllTestsImpl()
+
+#define GTEST_MINI_CONCAT_IMPL_(a, b) a##b
+#define GTEST_MINI_CONCAT_(a, b) GTEST_MINI_CONCAT_IMPL_(a, b)
+
+/// Failure messages inside the enclosing scope carry `message` as context.
+#define SCOPED_TRACE(message)                                        \
+  ::testing::internal::ScopedTrace GTEST_MINI_CONCAT_(               \
+      gtest_mini_trace_, __LINE__)(__FILE__, __LINE__, (message))
 
 #define GTEST_MINI_CLASS_(suite, name) suite##_##name##_Test
 

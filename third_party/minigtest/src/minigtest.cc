@@ -47,9 +47,18 @@ int RegisterParamPattern(const char* fixture, const char* name,
   return 0;
 }
 
+std::vector<std::string>& TraceStack() {
+  static std::vector<std::string> stack;
+  return stack;
+}
+
 void ReportFailure(const char* file, int line, const std::string& message) {
   Current().failed = true;
   std::fprintf(stderr, "%s:%d: Failure\n%s\n", file, line, message.c_str());
+  // Innermost SCOPED_TRACE frame first, like real gtest.
+  for (auto it = TraceStack().rbegin(); it != TraceStack().rend(); ++it) {
+    std::fprintf(stderr, "Google Test trace:\n%s\n", it->c_str());
+  }
 }
 
 void MarkSkipped(const std::string& message) {

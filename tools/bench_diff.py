@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against a committed baseline.
+
+Matches entries of the top-level "results" array by their "name" field,
+prints fresh/baseline ratios for every shared numeric field, and checks one
+watched metric against a regression threshold:
+
+    bench_diff.py BENCH_fleet.json fresh.json \
+        --metric devices_per_s --threshold 0.7
+
+flags a regression when fresh < threshold * baseline for a
+higher-is-better metric (pass --lower-is-better for latency-style metrics,
+where fresh > baseline / threshold flags instead). Top-level numeric fields
+(e.g. speedup_t8_vs_t1) are reported too, but only the watched per-result
+metric gates.
+
+Exit status: 0 when clean (or with --warn-only, always), 1 on regression,
+2 on usage/shape errors. CI runs the fleet bench with --warn-only: shared
+runners are noisy, so the report is advisory there; the committed baseline
+regenerated on the 1-core build container is the authoritative trajectory
+(see docs/PERF.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        sys.exit(f"bench_diff: {path}: expected a JSON object")
+    return doc
+
+
+def numeric_fields(obj: dict) -> dict[str, float]:
+    return {
+        k: float(v)
+        for k, v in obj.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def by_name(doc: dict, path: str) -> dict[str, dict]:
+    results = doc.get("results")
+    if not isinstance(results, list):
+        sys.exit(f"bench_diff: {path}: no 'results' array")
+    out: dict[str, dict] = {}
+    for entry in results:
+        if isinstance(entry, dict) and isinstance(entry.get("name"), str):
+            out[entry["name"]] = entry
+    return out
+
+
+def fmt_ratio(fresh: float, base: float) -> str:
+    if base == 0.0:
+        return "   n/a"
+    return f"{fresh / base:6.3f}"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("fresh", help="freshly generated JSON")
+    ap.add_argument("--metric", default="devices_per_s",
+                    help="per-result field gating the regression check")
+    ap.add_argument("--threshold", type=float, default=0.7,
+                    help="allowed fresh/baseline ratio before flagging "
+                         "(default 0.7 = tolerate 30%% regression)")
+    ap.add_argument("--lower-is-better", action="store_true",
+                    help="watched metric is latency-style (flag increases)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="print warnings but always exit 0 (noisy CI runners)")
+    args = ap.parse_args()
+    if not 0.0 < args.threshold <= 1.0:
+        ap.error("--threshold must be in (0, 1]")
+
+    base_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+    base_results = by_name(base_doc, args.baseline)
+    fresh_results = by_name(fresh_doc, args.fresh)
+
+    regressions: list[str] = []
+    print(f"bench_diff: {args.fresh} vs baseline {args.baseline} "
+          f"(metric {args.metric}, threshold {args.threshold})")
+
+    for name, base in base_results.items():
+        fresh = fresh_results.get(name)
+        if fresh is None:
+            print(f"  {name}: MISSING in fresh output")
+            regressions.append(f"{name}: missing")
+            continue
+        base_num = numeric_fields(base)
+        fresh_num = numeric_fields(fresh)
+        print(f"  {name}:")
+        for field in sorted(base_num):
+            if field not in fresh_num:
+                continue
+            b, f = base_num[field], fresh_num[field]
+            print(f"    {field:<20} base={b:<16.6g} fresh={f:<16.6g} "
+                  f"ratio={fmt_ratio(f, b)}")
+        if args.metric in base_num and args.metric in fresh_num:
+            b, f = base_num[args.metric], fresh_num[args.metric]
+            if b > 0:
+                ratio = f / b
+                bad = (ratio > 1.0 / args.threshold) if args.lower_is_better \
+                    else (ratio < args.threshold)
+                if bad:
+                    regressions.append(
+                        f"{name}: {args.metric} {f:.6g} vs baseline {b:.6g} "
+                        f"(ratio {ratio:.3f}, threshold {args.threshold})")
+
+    shared_top = numeric_fields(base_doc).keys() & numeric_fields(fresh_doc).keys()
+    if shared_top:
+        print("  top-level:")
+        for field in sorted(shared_top):
+            b = float(base_doc[field])
+            f = float(fresh_doc[field])
+            print(f"    {field:<20} base={b:<16.6g} fresh={f:<16.6g} "
+                  f"ratio={fmt_ratio(f, b)}")
+
+    for name in fresh_results.keys() - base_results.keys():
+        print(f"  {name}: new in fresh output (no baseline)")
+
+    if regressions:
+        for r in regressions:
+            print(f"bench_diff: {'WARNING' if args.warn_only else 'REGRESSION'}: {r}")
+        return 0 if args.warn_only else 1
+    print("bench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
