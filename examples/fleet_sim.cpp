@@ -5,6 +5,7 @@
 // guarantees.
 //
 //   ./fleet_sim [--devices=1000] [--threads=N] [--slices=20] [--shard-size=256]
+//               [--claim-batch=K]  (shards claimed per counter fetch; 0 = auto)
 //               [--models=all|EfficientNet-B0,ResNet-18,...]
 //               [--scenarios=mix|paper|name1,name2,...]
 //               [--seed=S] [--lut=R]
@@ -104,6 +105,7 @@ int main(int argc, char** argv) {
   fleet::FleetOptions opts;
   opts.threads = static_cast<unsigned>(cli.get_int("threads", 0));
   opts.shard_size = static_cast<std::size_t>(cli.get_int("shard-size", 256));
+  opts.claim_batch = static_cast<std::size_t>(cli.get_int("claim-batch", 0));
   opts.share_luts = !cli.get_bool("no-lut-cache", false);
   opts.shard_dir = cli.get("shard-dir", "");
   opts.keep_results = !cli.get_bool("no-results", false);

@@ -2,13 +2,15 @@
 //
 // Executes the independent RunSpecs of an expanded ExperimentSpec on a fixed
 // pool of N worker threads (no work stealing: workers claim the next grid
-// index from a shared atomic counter). Each run executes on its worker's
-// *own* sys::Processor — reused across runs sharing a (config, model) via a
-// per-worker ProcessorPool (RunnerOptions::reuse_processors, default on; a
+// index from a shared atomic counter; never more workers than runs). Each
+// run executes on a sys::Processor checked out of a pool shared by every
+// worker (ProcessorPool; RunnerOptions::reuse_processors, default on; a
 // reset() Processor is bit-exchangeable for a fresh one), or constructed
-// per run with reuse off — and writes its RunResult into a pre-sized vector
-// at the run's grid index. Results are therefore bit-identical regardless
-// of thread count, completion order or reuse; only wall-clock changes.
+// per run with reuse off. Workers buffer their RunResults locally and place
+// them at the runs' grid indices after the claiming loop drains, so no two
+// workers write near each other mid-run. Results are bit-identical
+// regardless of thread count, completion order or reuse; only wall-clock
+// changes.
 //
 // Thread safety: a Runner is immutable after construction — run()/run_all()
 // may be called concurrently from multiple threads (each call spins up its
@@ -23,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -35,25 +38,56 @@ class LutCache;  // placement/lut_cache.hpp — only a pointer is stored here
 
 namespace hhpim::exp {
 
-/// Per-worker pool of reusable sys::Processors, keyed by
-/// sys::processor_reuse_key(config, model). acquire() constructs on first
-/// use and Processor::reset()s on every later hit, so grid cells sharing a
-/// (model, arch, config) stop paying CostModel::build + cluster
-/// construction per run. Results are bit-identical to fresh construction
-/// (pinned by tests/test_batched.cpp). Not thread-safe — one pool per
-/// worker thread.
+/// Thread-safe checkout pool of reusable sys::Processors, keyed by
+/// sys::processor_reuse_key(config, model) and shared by every worker of a
+/// run_all call. checkout() pops an idle processor (Processor::reset() and
+/// construction both happen outside the lock) or constructs one, so grid
+/// cells sharing a (model, arch, config) stop paying CostModel::build +
+/// cluster construction per run; the Lease returns it on destruction.
+/// Sharing one pool bounds constructions per key by the peak number of
+/// concurrent runs of that key — per-worker pools would construct
+/// workers × keys processors, which is what made oversubscribed workers
+/// slower than one. Results are bit-identical to fresh construction
+/// (pinned by tests/test_batched.cpp).
 class ProcessorPool {
  public:
-  /// The pooled processor for (config, model), reset and ready to run.
-  /// `config.lut_cache` must already be resolved by the caller (it is part
-  /// of the key).
-  [[nodiscard]] sys::Processor& acquire(const sys::SystemConfig& config,
-                                        const nn::Model& model);
+  /// RAII checkout: returns the processor to the pool when destroyed.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
 
-  [[nodiscard]] std::size_t size() const { return pool_.size(); }
+    /// The leased processor, in just-constructed state at checkout.
+    [[nodiscard]] sys::Processor& get() const { return *proc_; }
+
+   private:
+    friend class ProcessorPool;
+    Lease(ProcessorPool* pool, std::uint64_t key,
+          std::unique_ptr<sys::Processor> proc);
+    ProcessorPool* pool_ = nullptr;
+    std::uint64_t key_ = 0;
+    std::unique_ptr<sys::Processor> proc_;
+  };
+
+  /// A processor for (config, model) in just-constructed state.
+  /// `config.lut_cache` must already be resolved by the caller (it is part
+  /// of the key). Safe to call from any thread.
+  [[nodiscard]] Lease checkout(const sys::SystemConfig& config,
+                               const nn::Model& model);
+
+  /// Idle processors currently pooled (leased ones excluded).
+  [[nodiscard]] std::size_t size() const;
 
  private:
-  std::unordered_map<std::uint64_t, std::unique_ptr<sys::Processor>> pool_;
+  void give_back(std::uint64_t key, std::unique_ptr<sys::Processor> proc);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<sys::Processor>>>
+      idle_;
 };
 
 struct RunnerOptions {
@@ -70,10 +104,10 @@ struct RunnerOptions {
   /// Cache used when `share_luts` (not owned; must outlive the grid run).
   /// nullptr = the process-wide placement::LutCache::process_cache().
   placement::LutCache* lut_cache = nullptr;
-  /// Reuse one Processor per (config, model) per worker (ProcessorPool):
-  /// repeated grid cells skip CostModel::build and cluster construction.
-  /// Results are byte-identical with reuse on or off; only wall-clock
-  /// changes.
+  /// Reuse Processors across runs sharing a (config, model) via the
+  /// checkout ProcessorPool shared by all workers: repeated grid cells
+  /// skip CostModel::build and cluster construction. Results are
+  /// byte-identical with reuse on or off; only wall-clock changes.
   bool reuse_processors = true;
 };
 
@@ -105,6 +139,11 @@ class Runner {
   [[nodiscard]] placement::LutCache* resolve_lut_cache() const;
   /// The worker count a `threads` request resolves to on this host.
   [[nodiscard]] static unsigned resolve_threads(unsigned requested);
+  /// Workers actually spawned for `requested` threads over `runs` runs:
+  /// min(resolve_threads(requested), runs), at least 1. Surplus workers
+  /// would only contend on the claim counter.
+  [[nodiscard]] static unsigned resolve_workers(unsigned requested,
+                                                std::size_t runs);
 
  private:
   RunnerOptions options_;

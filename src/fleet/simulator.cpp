@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/align.hpp"
 #include "common/serialize.hpp"
 #include "placement/lut_cache.hpp"
 
@@ -23,6 +24,18 @@ unsigned FleetSimulator::resolve_threads(unsigned requested) {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+unsigned FleetSimulator::resolve_workers(unsigned requested, std::size_t shards) {
+  return std::min<unsigned>(resolve_threads(requested),
+                            static_cast<unsigned>(std::max<std::size_t>(shards, 1)));
+}
+
+std::size_t FleetSimulator::resolve_claim_batch(std::size_t requested,
+                                                std::size_t shards,
+                                                unsigned workers) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, shards / (static_cast<std::size_t>(workers) * 8));
 }
 
 placement::LutCache* FleetSimulator::resolve_lut_cache() const {
@@ -155,19 +168,61 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
                      .shard_size = shard_size};
   if (options_.keep_results) result.devices.resize(n);
 
-  std::vector<FleetAggregate> shard_aggs(shards,
-                                         FleetAggregate{spec.histograms});
+  // One slot per shard, each on its own cache line: a worker finishing
+  // shard s move-assigns into slot s while a sibling fills s±1 — without
+  // the alignment those writes would false-share a line.
+  struct alignas(kCacheLine) ShardSlot {
+    FleetAggregate agg;
+  };
+  std::vector<ShardSlot> shard_aggs(shards, ShardSlot{FleetAggregate{spec.histograms}});
 
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::atomic<std::size_t> next{0};
 
-  // One reusable processor per model per worker (reuse_processors): the
-  // fleet config is shared, so (config, model_index) fully determines a
-  // device's processor. Workers own their pools — no synchronization.
-  using ProcessorPool = std::vector<std::unique_ptr<sys::Processor>>;
+  // Checkout pool of reusable processors, one freelist per model, shared by
+  // all workers (reuse_processors): the fleet config is shared, so
+  // (config, model_index) fully determines a device's processor. Sharing
+  // the pool bounds constructions by the peak per-model overlap — a
+  // per-worker pool would construct workers × models processors, which is
+  // exactly what made 8 oversubscribed workers slower than 1 on a single
+  // core. Checkout/return are pointer pops under a per-model mutex, held
+  // for nanoseconds against device runs of tens of microseconds; each
+  // freelist sits on its own cache line.
+  struct alignas(kCacheLine) ModelPool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<sys::Processor>> idle;
+  };
+  const bool reuse = options_.reuse_processors;
+  std::vector<ModelPool> model_pools(reuse ? models.size() : 0);
+  const sys::SystemConfig device_cfg =
+      reuse ? Device::device_config(spec, cache) : sys::SystemConfig{};
 
-  auto run_shard = [&](std::size_t s, ProcessorPool* pool) {
+  // Returns a processor for `m` in just-constructed state (pooled ones are
+  // reset() outside the lock; construction also happens outside the lock).
+  auto checkout = [&](std::size_t m) {
+    ModelPool& mp = model_pools[m];
+    std::unique_ptr<sys::Processor> p;
+    {
+      const std::lock_guard<std::mutex> lock{mp.mu};
+      if (!mp.idle.empty()) {
+        p = std::move(mp.idle.back());
+        mp.idle.pop_back();
+      }
+    }
+    if (p != nullptr) {
+      p->reset();
+      return p;
+    }
+    return std::make_unique<sys::Processor>(device_cfg, models[m]);
+  };
+  auto give_back = [&](std::size_t m, std::unique_ptr<sys::Processor> p) {
+    ModelPool& mp = model_pools[m];
+    const std::lock_guard<std::mutex> lock{mp.mu};
+    mp.idle.push_back(std::move(p));
+  };
+
+  auto run_shard = [&](std::size_t s) {
     const std::size_t begin = s * shard_size;
     const std::size_t end = std::min(n, begin + shard_size);
     FleetAggregate agg{spec.histograms};
@@ -175,18 +230,27 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
     const bool stream = !options_.shard_dir.empty();
     if (stream && !options_.keep_results) local.reserve(end - begin);
 
+    // The shard's current lease: held across consecutive devices of the
+    // same model, returned on a model switch or at shard end. A device
+    // that throws abandons the lease (the processor may be mid-run).
+    std::unique_ptr<sys::Processor> held;
+    std::size_t held_model = 0;
+
     for (std::size_t i = begin; i < end; ++i) {
       const DeviceSpec& ds = device_specs[i];
       DeviceResult r;
-      if (pool != nullptr) {
-        std::unique_ptr<sys::Processor>& slot = (*pool)[ds.model_index];
-        if (slot == nullptr) {
-          slot = std::make_unique<sys::Processor>(
-              Device::device_config(spec, cache), models[ds.model_index]);
+      if (reuse) {
+        if (held == nullptr) {
+          held = checkout(ds.model_index);
+          held_model = ds.model_index;
+        } else if (held_model != ds.model_index) {
+          give_back(held_model, std::move(held));
+          held = checkout(ds.model_index);
+          held_model = ds.model_index;
         } else {
-          slot->reset();
+          held->reset();
         }
-        Device dev{spec, ds, models[ds.model_index], *slot};
+        Device dev{spec, ds, models[ds.model_index], *held};
         r = dev.run(&agg);
       } else {
         Device dev{spec, ds, models[ds.model_index], cache};
@@ -198,41 +262,51 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
         local.push_back(std::move(r));
       }
     }
+    if (held != nullptr) give_back(held_model, std::move(held));
 
     if (stream) {
-      const std::string path = shard_path(options_.shard_dir, s);
-      std::ofstream out(path);
-      if (!out) throw std::runtime_error("fleet: cannot open " + path);
+      // Format into a private buffer first, then write the file in one
+      // call: the worker spends no time in the filesystem while holding
+      // work another claim could overlap with, and no handoff ever blocks
+      // a sibling worker.
+      std::ostringstream buf;
       if (options_.keep_results) {
         for (std::size_t i = begin; i < end; ++i) {
-          write_device_line(out, result.devices[i]);
+          write_device_line(buf, result.devices[i]);
         }
       } else {
-        for (const DeviceResult& r : local) write_device_line(out, r);
+        for (const DeviceResult& r : local) write_device_line(buf, r);
       }
+      const std::string path = shard_path(options_.shard_dir, s);
+      std::ofstream out(path, std::ios::binary);
+      if (!out) throw std::runtime_error("fleet: cannot open " + path);
+      const std::string& bytes = buf.str();
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
       if (!out) throw std::runtime_error("fleet: write failed for " + path);
     }
-    shard_aggs[s] = std::move(agg);
+    shard_aggs[s].agg = std::move(agg);
   };
 
+  const unsigned workers = resolve_workers(options_.threads, shards);
+  const std::size_t batch =
+      resolve_claim_batch(options_.claim_batch, shards, workers);
+
   auto worker = [&] {
-    ProcessorPool pool(options_.reuse_processors ? models.size() : 0);
-    ProcessorPool* const pool_ptr = options_.reuse_processors ? &pool : nullptr;
     for (;;) {
-      const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
-      if (s >= shards) return;
-      try {
-        run_shard(s, pool_ptr);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock{error_mutex};
-        if (!first_error) first_error = std::current_exception();
+      const std::size_t base = next.fetch_add(batch, std::memory_order_relaxed);
+      if (base >= shards) return;
+      const std::size_t limit = std::min(shards, base + batch);
+      for (std::size_t s = base; s < limit; ++s) {
+        try {
+          run_shard(s);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+        }
       }
     }
   };
 
-  const unsigned workers = std::min<unsigned>(
-      resolve_threads(options_.threads),
-      static_cast<unsigned>(std::max<std::size_t>(shards, 1)));
   if (workers <= 1) {
     worker();
   } else {
@@ -246,7 +320,7 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
   // Merge in shard-index order: Summary merges are order-sensitive in the
   // last floating-point bit, so a fixed order keeps output byte-identical
   // at any thread count.
-  for (const FleetAggregate& agg : shard_aggs) result.aggregate.merge(agg);
+  for (const ShardSlot& slot : shard_aggs) result.aggregate.merge(slot.agg);
 
   if (cache != nullptr) {
     const placement::LutCache::Stats after = cache->stats();

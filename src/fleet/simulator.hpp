@@ -6,9 +6,12 @@
 //   * expand() derives DeviceSpecs single-threaded; devices are grouped
 //     into fixed-size shards (FleetOptions::shard_size). Shard boundaries
 //     depend only on the spec and options — never on the thread count.
-//   * Workers claim the next shard index from a shared atomic counter, run
-//     each device of the shard (its own Processor + Battery + policy), and
-//     accumulate one FleetAggregate per shard.
+//   * Workers claim batches of consecutive shard indices from a shared
+//     atomic counter (FleetOptions::claim_batch), run each device of each
+//     shard (its own Processor + Battery + policy), and accumulate one
+//     FleetAggregate per shard. Shard aggregate slots are cache-line
+//     aligned so sibling workers never false-share a line, and never more
+//     workers than shards are spawned (resolve_workers).
 //   * When FleetOptions::shard_dir is set, each worker streams its shard's
 //     device lines to <dir>/shard-NNNNN.jsonl as the shard completes — a
 //     fleet of millions never holds all results in memory
@@ -54,15 +57,25 @@ struct FleetOptions {
   placement::LutCache* lut_cache = nullptr;
   /// When non-empty: write <shard_dir>/shard-NNNNN.jsonl while the run
   /// progresses (the directory must exist; open/write failures are
-  /// reported as std::runtime_error after all shards finish).
+  /// reported as std::runtime_error after all shards finish). Each worker
+  /// formats its shard into a private memory buffer and writes the file in
+  /// one call — stream handoff never blocks a sibling worker.
   std::string shard_dir;
+  /// Shards claimed per atomic fetch_add (the work-claiming granularity).
+  /// Larger batches cut claim traffic on the shared counter; smaller
+  /// batches balance the tail. 0 = auto: ~8 claims per worker
+  /// (resolve_claim_batch). Output is byte-identical at any value.
+  std::size_t claim_batch = 0;
   /// Retain per-device results in FleetResult::devices. Turn off for very
   /// large fleets streamed to shard files — aggregates are kept either way.
   bool keep_results = true;
-  /// Reuse one sys::Processor per model per worker: devices sharing the
-  /// fleet config and a model run on a reset() processor instead of paying
+  /// Reuse sys::Processors across devices: devices sharing the fleet
+  /// config and a model run on a reset() processor instead of paying
   /// CostModel::build + cluster construction each (Processor::reset ==
-  /// fresh construction; pinned by tests/test_batched.cpp). Results are
+  /// fresh construction; pinned by tests/test_batched.cpp). Processors
+  /// live in a checkout pool shared by all workers, so the number
+  /// constructed is bounded by the peak per-model overlap — not by
+  /// workers × models as per-worker pools would be. Results are
   /// byte-identical with reuse on or off; only wall-clock changes.
   bool reuse_processors = true;
 };
@@ -110,6 +123,17 @@ class FleetSimulator {
   /// The cache this run will use (nullptr when sharing is off).
   [[nodiscard]] placement::LutCache* resolve_lut_cache() const;
   [[nodiscard]] static unsigned resolve_threads(unsigned requested);
+  /// Workers actually spawned for a `requested` thread count over `shards`
+  /// shards: min(resolve_threads(requested), shards), at least 1. Surplus
+  /// workers would only contend on the claim counter and error mutex.
+  [[nodiscard]] static unsigned resolve_workers(unsigned requested,
+                                                std::size_t shards);
+  /// The shard-claim batch a `requested` FleetOptions::claim_batch value
+  /// resolves to: the request itself, or for 0 (auto) the largest batch
+  /// that still gives every worker ~8 claims (min 1).
+  [[nodiscard]] static std::size_t resolve_claim_batch(std::size_t requested,
+                                                       std::size_t shards,
+                                                       unsigned workers);
 
  private:
   FleetOptions options_;

@@ -1,24 +1,32 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench JSON against a committed baseline.
+"""Compare fresh bench JSON against committed baselines and gate on floors.
 
-Matches entries of the top-level "results" array by their "name" field,
-prints fresh/baseline ratios for every shared numeric field, and checks one
-watched metric against a regression threshold:
+Positional arguments are BASELINE FRESH pairs (one or more):
 
-    bench_diff.py BENCH_fleet.json fresh.json \
-        --metric devices_per_s --threshold 0.7
+    bench_diff.py BENCH_fleet.json fresh-fleet.json \
+        [BENCH_lut_cache.json fresh-lut.json ...] \
+        --metric devices_per_s --threshold 0.7 \
+        --require speedup_t8_vs_t1:1.5
 
-flags a regression when fresh < threshold * baseline for a
-higher-is-better metric (pass --lower-is-better for latency-style metrics,
-where fresh > baseline / threshold flags instead). Top-level numeric fields
-(e.g. speedup_t8_vs_t1) are reported too, but only the watched per-result
-metric gates.
+Within each pair, entries of the top-level "results" array (or google-
+benchmark's "benchmarks" array) are matched by their "name" field; the
+tool prints fresh/baseline ratios for every shared numeric field and
+checks the watched --metric against the regression threshold: fresh <
+threshold * baseline flags for a higher-is-better metric (pass
+--lower-is-better for latency-style metrics, where fresh > baseline /
+threshold flags instead).
 
-Exit status: 0 when clean (or with --warn-only, always), 1 on regression,
-2 on usage/shape errors. CI runs the fleet bench with --warn-only: shared
-runners are noisy, so the report is advisory there; the committed baseline
-regenerated on the 1-core build container is the authoritative trajectory
-(see docs/PERF.md).
+--require METRIC:MIN (repeatable) asserts an absolute floor on a
+top-level numeric metric of the fresh documents — e.g. the fleet bench's
+speedup_t8_vs_t1, which gates parallel scaling in CI (docs/PERF.md
+"Parallel scaling"). Floors are hard failures even under --warn-only:
+ratio checks against a baseline from a different machine are advisory by
+nature, but an absolute floor measures only the machine the fresh run
+executed on. A required metric that appears in no fresh document is a
+shape error (exit 2), so a renamed field cannot silently disarm a gate.
+
+Exit status: 0 when clean (ratio warnings allowed under --warn-only),
+1 on regression or missed floor, 2 on usage/shape errors.
 """
 
 from __future__ import annotations
@@ -28,14 +36,20 @@ import json
 import sys
 
 
+def die(msg: str) -> "None":
+    """Usage/shape error: print and exit 2 (1 is reserved for regressions)."""
+    print(f"bench_diff: {msg}", file=sys.stderr)
+    raise SystemExit(2)
+
+
 def load(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"bench_diff: cannot read {path}: {e}")
+        die(f"cannot read {path}: {e}")
     if not isinstance(doc, dict):
-        sys.exit(f"bench_diff: {path}: expected a JSON object")
+        die(f"{path}: expected a JSON object")
     return doc
 
 
@@ -48,14 +62,27 @@ def numeric_fields(obj: dict) -> dict[str, float]:
 
 
 def by_name(doc: dict, path: str) -> dict[str, dict]:
+    # Native bench docs carry "results"; google-benchmark emits "benchmarks".
     results = doc.get("results")
     if not isinstance(results, list):
-        sys.exit(f"bench_diff: {path}: no 'results' array")
+        results = doc.get("benchmarks")
+    if not isinstance(results, list):
+        die(f"{path}: no 'results' or 'benchmarks' array")
     out: dict[str, dict] = {}
     for entry in results:
         if isinstance(entry, dict) and isinstance(entry.get("name"), str):
             out[entry["name"]] = entry
     return out
+
+
+def parse_require(spec: str) -> tuple[str, float]:
+    metric, sep, floor = spec.rpartition(":")
+    if not sep or not metric:
+        die(f"--require expects METRIC:MIN, got '{spec}'")
+    try:
+        return metric, float(floor)
+    except ValueError:
+        die(f"--require {spec}: '{floor}' is not a number")
 
 
 def fmt_ratio(fresh: float, base: float) -> str:
@@ -64,40 +91,24 @@ def fmt_ratio(fresh: float, base: float) -> str:
     return f"{fresh / base:6.3f}"
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline", help="committed baseline JSON")
-    ap.add_argument("fresh", help="freshly generated JSON")
-    ap.add_argument("--metric", default="devices_per_s",
-                    help="per-result field gating the regression check")
-    ap.add_argument("--threshold", type=float, default=0.7,
-                    help="allowed fresh/baseline ratio before flagging "
-                         "(default 0.7 = tolerate 30%% regression)")
-    ap.add_argument("--lower-is-better", action="store_true",
-                    help="watched metric is latency-style (flag increases)")
-    ap.add_argument("--warn-only", action="store_true",
-                    help="print warnings but always exit 0 (noisy CI runners)")
-    args = ap.parse_args()
-    if not 0.0 < args.threshold <= 1.0:
-        ap.error("--threshold must be in (0, 1]")
+def diff_pair(baseline: str, fresh: str, args: argparse.Namespace,
+              regressions: list[str], fresh_top: dict[str, float]) -> None:
+    base_doc = load(baseline)
+    fresh_doc = load(fresh)
+    base_results = by_name(base_doc, baseline)
+    fresh_results = by_name(fresh_doc, fresh)
 
-    base_doc = load(args.baseline)
-    fresh_doc = load(args.fresh)
-    base_results = by_name(base_doc, args.baseline)
-    fresh_results = by_name(fresh_doc, args.fresh)
-
-    regressions: list[str] = []
-    print(f"bench_diff: {args.fresh} vs baseline {args.baseline} "
+    print(f"bench_diff: {fresh} vs baseline {baseline} "
           f"(metric {args.metric}, threshold {args.threshold})")
 
     for name, base in base_results.items():
-        fresh = fresh_results.get(name)
-        if fresh is None:
+        entry = fresh_results.get(name)
+        if entry is None:
             print(f"  {name}: MISSING in fresh output")
             regressions.append(f"{name}: missing")
             continue
         base_num = numeric_fields(base)
-        fresh_num = numeric_fields(fresh)
+        fresh_num = numeric_fields(entry)
         print(f"  {name}:")
         for field in sorted(base_num):
             if field not in fresh_num:
@@ -128,10 +139,62 @@ def main() -> int:
     for name in fresh_results.keys() - base_results.keys():
         print(f"  {name}: new in fresh output (no baseline)")
 
-    if regressions:
-        for r in regressions:
-            print(f"bench_diff: {'WARNING' if args.warn_only else 'REGRESSION'}: {r}")
-        return 0 if args.warn_only else 1
+    # First fresh doc carrying a metric wins; floors only read fresh docs.
+    for field, value in numeric_fields(fresh_doc).items():
+        fresh_top.setdefault(field, value)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", metavar="BASELINE FRESH",
+                    help="one or more BASELINE FRESH JSON pairs")
+    ap.add_argument("--metric", default="devices_per_s",
+                    help="per-result field gating the regression check")
+    ap.add_argument("--threshold", type=float, default=0.7,
+                    help="allowed fresh/baseline ratio before flagging "
+                         "(default 0.7 = tolerate 30%% regression)")
+    ap.add_argument("--lower-is-better", action="store_true",
+                    help="watched metric is latency-style (flag increases)")
+    ap.add_argument("--require", action="append", default=[], metavar="METRIC:MIN",
+                    help="absolute floor on a fresh top-level metric; hard "
+                         "failure even with --warn-only (repeatable)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="ratio regressions print as warnings and exit 0 "
+                         "(noisy CI runners); --require floors still fail")
+    args = ap.parse_args()
+    if not 0.0 < args.threshold <= 1.0:
+        ap.error("--threshold must be in (0, 1]")
+    if len(args.files) % 2 != 0:
+        ap.error("positional arguments must be BASELINE FRESH pairs "
+                 f"(got {len(args.files)} paths)")
+    floors = [parse_require(spec) for spec in args.require]
+
+    regressions: list[str] = []
+    fresh_top: dict[str, float] = {}
+    for i in range(0, len(args.files), 2):
+        diff_pair(args.files[i], args.files[i + 1], args, regressions, fresh_top)
+
+    floor_failures: list[str] = []
+    for metric, floor in floors:
+        if metric not in fresh_top:
+            die(f"--require {metric}:{floor:g}: metric not found in any "
+                f"fresh document's top level")
+        value = fresh_top[metric]
+        status = "ok" if value >= floor else "FAIL"
+        print(f"bench_diff: require {metric} >= {floor:g}: "
+              f"measured {value:.6g} ({status})")
+        if value < floor:
+            floor_failures.append(
+                f"{metric} {value:.6g} below required floor {floor:g}")
+
+    for r in regressions:
+        print(f"bench_diff: {'WARNING' if args.warn_only else 'REGRESSION'}: {r}")
+    for r in floor_failures:
+        print(f"bench_diff: FLOOR FAILED: {r}")
+    if floor_failures:
+        return 1
+    if regressions and not args.warn_only:
+        return 1
     print("bench_diff: OK")
     return 0
 
