@@ -11,7 +11,7 @@
 //               [--seed=S] [--lut=R]
 //               [--capacity-mj=250] [--initial-soc=1.0]
 //               [--soc-low=0.3] [--soc-high=0.5] [--no-adapt]
-//               [--no-lut-cache] [--no-results]
+//               [--no-lut-cache] [--no-device-memo] [--no-results]
 //               [--jsonl=PATH|-] [--summary=PATH|-] [--shard-dir=DIR] [--quiet]
 //
 // The same spec at any --threads value produces byte-identical JSONL and
@@ -27,6 +27,7 @@
 
 #include "common/cli.hpp"
 #include "common/strings.hpp"
+#include "fleet/outcome_cache.hpp"
 #include "fleet/simulator.hpp"
 #include "nn/zoo.hpp"
 #include "placement/lut_cache.hpp"
@@ -109,8 +110,11 @@ int main(int argc, char** argv) {
   opts.share_luts = !cli.get_bool("no-lut-cache", false);
   opts.shard_dir = cli.get("shard-dir", "");
   opts.keep_results = !cli.get_bool("no-results", false);
+  opts.memoize_devices = !cli.get_bool("no-device-memo", false);
   placement::LutCache lut_cache;  // private per invocation, deterministic stats
   opts.lut_cache = &lut_cache;
+  fleet::OutcomeCache outcome_cache;  // same: private, cold per invocation
+  opts.outcome_cache = &outcome_cache;
   const fleet::FleetSimulator sim{opts};
 
   const std::string jsonl_path = cli.get("jsonl", "");
@@ -142,6 +146,16 @@ int main(int argc, char** argv) {
                 opts.share_luts ? "on" : "off",
                 static_cast<unsigned long long>(result.lut_builds),
                 static_cast<unsigned long long>(result.lut_shared));
+    if (opts.memoize_devices) {
+      // Stats only — hit/miss counts vary with worker interleaving, which is
+      // why they are printed here and never written into the summary JSON.
+      std::printf("device memo: %llu replayed, %llu exact (%llu hits, "
+                  "%llu misses)\n",
+                  static_cast<unsigned long long>(result.memo_replayed_devices),
+                  static_cast<unsigned long long>(result.memo_exact_devices),
+                  static_cast<unsigned long long>(result.memo_hits),
+                  static_cast<unsigned long long>(result.memo_misses));
+    }
     std::printf("wall: %.3f s (%.1f devices/s)\n\n", wall_s,
                 spec.devices > 0 ? static_cast<double>(spec.devices) / wall_s : 0.0);
     std::printf("tasks %llu (dropped %llu)  deadline misses %llu  "

@@ -30,6 +30,7 @@ void EnergyLedger::add(ComponentId c, Activity a, Energy e) {
   assert(c.valid() && c.idx_ < names_.size());
   const std::size_t cell = c.idx_ * kActivities + static_cast<std::size_t>(a);
   pj_[cell] += e.as_pj();
+  window_pj_ += e.as_pj();
   if (record_ != nullptr) {
     record_->push_back(RecordedPost{static_cast<std::uint32_t>(cell), e.as_pj()});
   }
@@ -40,6 +41,7 @@ void EnergyLedger::replay(const std::vector<RecordedPost>& posts, int repeats) {
     for (const RecordedPost& p : posts) {
       assert(p.cell < pj_.size());
       pj_[p.cell] += p.pj;
+      window_pj_ += p.pj;
     }
   }
 }
@@ -104,6 +106,7 @@ std::string EnergyLedger::breakdown() const {
 
 void EnergyLedger::reset() {
   std::fill(pj_.begin(), pj_.end(), 0.0);
+  window_pj_ = 0.0;
 }
 
 LeakageTracker::LeakageTracker(EnergyLedger* ledger, ComponentId id, Power leakage)

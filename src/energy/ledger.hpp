@@ -73,6 +73,23 @@ class EnergyLedger {
   /// Re-applies `posts` `repeats` times, preserving per-cell add order.
   void replay(const std::vector<RecordedPost>& posts, int repeats);
 
+  // --- Slice-energy window -------------------------------------------------
+  // A single running sum of every post (add or replay) since the last
+  // begin_window(), accumulated from 0.0. Unlike `total_after -
+  // total_before` over the cumulative cells, the window is
+  // *history-independent*: two executions posting the same amounts in the
+  // same order read identical window bits no matter what the accumulators
+  // already hold (cumulative deltas round differently with the accumulated
+  // magnitude). sys::Processor::run_slice reports slice energy from this
+  // window, which is what lets the fleet's device-outcome memo
+  // (fleet::OutcomeCache) replay a recorded slice byte-identically on
+  // devices with different energy histories.
+
+  /// Zeroes the window. Call at the start of the interval to measure.
+  void begin_window() { window_pj_ = 0.0; }
+  /// Everything posted since begin_window().
+  [[nodiscard]] Energy window_total() const { return Energy::pj(window_pj_); }
+
   /// Posts leakage: power integrated over a powered-on interval.
   void add_leakage(ComponentId c, Power p, Time duration) {
     add(c, Activity::kLeakage, p * duration);
@@ -98,6 +115,7 @@ class EnergyLedger {
   static constexpr std::size_t kActivities = static_cast<std::size_t>(Activity::kCount);
   std::vector<std::string> names_;
   std::vector<double> pj_;  // names_.size() * kActivities, row-major
+  double window_pj_ = 0.0;  // posts since begin_window(), summed from zero
   std::vector<RecordedPost>* record_ = nullptr;  // active recording sink, if any
 };
 

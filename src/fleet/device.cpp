@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fleet/aggregate.hpp"
+#include "fleet/outcome_cache.hpp"
 #include "hhpim/scheduler.hpp"
 
 namespace hhpim::fleet {
@@ -45,17 +46,27 @@ Device::Device(const FleetSpec& fleet, const DeviceSpec& spec,
                            : placement::Allocation{}) {}
 
 DeviceResult Device::run(FleetAggregate* agg) {
-  const std::vector<int> loads = device_loads(spec_);
+  return run(agg, device_loads(spec_), nullptr);
+}
+
+DeviceResult Device::run(FleetAggregate* agg, const std::vector<int>& loads,
+                         OutcomeRecorder* recorder) {
   const Time slice = proc_->slice_length();
 
   DeviceResult r;
   r.id = spec_.id;
-  r.model = model_.name();
-  r.scenario = workload::to_string(spec_.scenario);
+  r.model_index = static_cast<std::uint32_t>(spec_.model_index);
+  r.scenario = spec_.scenario;
   r.seed = spec_.seed;
   r.slice_ps = slice.as_ps();
   r.slices_total = static_cast<int>(loads.size()) + 1;  // + drain slice
   r.battery_capacity_pj = battery_.capacity().as_pj();
+
+  // Digest chain for outcome recording: `pre` is the processor state the
+  // coming slice starts from. The mode decided below is part of the key,
+  // not the digest — the override flip it causes lands in the slice's
+  // *post* digest, which seeds the next link.
+  std::uint64_t pre = recorder != nullptr ? proc_->state_digest() : 0;
 
   int buffered = 0;
   for (std::size_t k = 0; k <= loads.size(); ++k) {
@@ -74,6 +85,20 @@ DeviceResult Device::run(FleetAggregate* agg) {
     const sys::SliceStats s = proc_->run_slice(buffered);
     const Energy requested = s.energy;
     const Energy drained = battery_.drain(requested);
+
+    if (recorder != nullptr) {
+      // Recorded even for an exhaustion slice: the slice's outcome is
+      // independent of the battery (the clamp is replay-side), so the
+      // entry is valid for any device reaching this state.
+      const std::uint64_t post = proc_->state_digest();
+      recorder->recorded.push_back(
+          {SliceOutcomeKey{recorder->reuse_key, pre,
+                           static_cast<std::uint32_t>(buffered),
+                           static_cast<std::uint8_t>(mode)},
+           SliceOutcome{requested.as_pj(), s.busy_time.as_ps(),
+                        s.movement_time.as_ps(), post, s.deadline_violated}});
+      pre = post;
+    }
 
     ++r.slices_executed;
     r.tasks += static_cast<std::uint64_t>(s.tasks_executed);

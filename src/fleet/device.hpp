@@ -22,7 +22,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <string>
+#include <vector>
 
 #include "energy/battery.hpp"
 #include "fleet/policy.hpp"
@@ -36,15 +36,20 @@ class LutCache;  // placement/lut_cache.hpp — only a pointer is passed through
 
 namespace hhpim::fleet {
 
-class FleetAggregate;  // fleet/aggregate.hpp
+class FleetAggregate;   // fleet/aggregate.hpp
+struct OutcomeRecorder;  // fleet/outcome_cache.hpp
 
 /// Everything one device run produces; one JSONL line each (the schema is
 /// documented in docs/FLEET.md). Times are picoseconds, energies picojoules
-/// (matching exp::RunResult); SoC is in [0, 1].
+/// (matching exp::RunResult); SoC is in [0, 1]. Model and scenario are
+/// interned — `model_index` points into FleetResult::model_names (the
+/// FleetSpec's resolved model table) and `scenario` is the enum; both
+/// resolve to strings only at JSONL-write time, so a million DeviceResults
+/// carry no per-device string allocations.
 struct DeviceResult {
   std::uint32_t id = 0;
-  std::string model;
-  std::string scenario;
+  std::uint32_t model_index = 0;
+  workload::Scenario scenario = workload::Scenario::kLowConstant;
   std::uint64_t seed = 0;
   std::int64_t slice_ps = 0;           ///< the device's slice length T
 
@@ -87,6 +92,17 @@ class Device {
   /// Executes the device's whole stream. Per-slice samples are accumulated
   /// into `agg` (may be null). Call once.
   DeviceResult run(FleetAggregate* agg);
+
+  /// Same, with the load trace precomputed by the caller (`loads` must
+  /// equal device_loads(spec)) and optional outcome recording: when
+  /// `recorder` is non-null, every executed slice appends one
+  /// (SliceOutcomeKey, SliceOutcome) pair chained through
+  /// Processor::state_digest() — the exact-path side of the fleet's
+  /// device-level memo (recorder->reuse_key must be the processor's
+  /// sys::processor_reuse_key). Recording changes wall-clock only, never
+  /// the result. Call once.
+  DeviceResult run(FleetAggregate* agg, const std::vector<int>& loads,
+                   OutcomeRecorder* recorder);
 
   /// The SystemConfig a device of `fleet` runs under: the fleet's shared
   /// config with the simulator-resolved LUT cache plugged in. What both

@@ -1,0 +1,78 @@
+#include "fleet/outcome_cache.hpp"
+
+namespace hhpim::fleet {
+
+const SliceOutcome* OutcomeCache::lookup(const SliceOutcomeKey& key) {
+  const ReadyMap* snap = ready_.load(std::memory_order_acquire);
+  if (snap != nullptr) {
+    const auto it = snap->find(key);
+    if (it != snap->end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return &it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void OutcomeCache::insert_batch(
+    const std::vector<std::pair<SliceOutcomeKey, SliceOutcome>>& entries) {
+  if (entries.empty()) return;
+  const std::lock_guard<std::mutex> lock{mu_};
+  const ReadyMap* cur = ready_.load(std::memory_order_relaxed);
+
+  // Cheap pre-check against the current snapshot: a shard re-recording a
+  // device whose keys all landed already (racing fallbacks, repeated runs
+  // against a warm cache) skips the copy-on-write entirely.
+  bool any_new = cur == nullptr;
+  if (!any_new) {
+    for (const auto& e : entries) {
+      if (cur->find(e.first) == cur->end()) {
+        any_new = true;
+        break;
+      }
+    }
+  }
+  if (!any_new) return;
+
+  auto next = std::make_unique<ReadyMap>(cur != nullptr ? *cur : ReadyMap{});
+  std::uint64_t inserted = 0;
+  for (const auto& e : entries) {
+    if (next->emplace(e.first, e.second).second) ++inserted;
+  }
+  if (inserted == 0) return;
+  insertions_.fetch_add(inserted, std::memory_order_relaxed);
+  publish_locked(std::move(next));
+}
+
+void OutcomeCache::publish_locked(std::unique_ptr<const ReadyMap> next) {
+  ready_.store(next.get(), std::memory_order_release);
+  retired_.push_back(std::move(next));
+}
+
+void OutcomeCache::clear() {
+  const std::lock_guard<std::mutex> lock{mu_};
+  // The superseded snapshot already lives in retired_; publishing null is
+  // enough (readers treat it as empty).
+  ready_.store(nullptr, std::memory_order_release);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+}
+
+OutcomeCache::Stats OutcomeCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  const ReadyMap* snap = ready_.load(std::memory_order_acquire);
+  s.entries = snap != nullptr ? snap->size() : 0;
+  return s;
+}
+
+OutcomeCache& OutcomeCache::process_cache() {
+  static OutcomeCache cache;
+  return cache;
+}
+
+}  // namespace hhpim::fleet

@@ -1,0 +1,152 @@
+// Process-wide, thread-safe memo of whole-device slice outcomes.
+//
+// Most devices of a fleet share (arch config, model, placement-decision
+// stream) and differ only in seed jitter and battery trajectory. A slice's
+// outcome — energy requested, busy/movement time, deadline flag, and the
+// processor state it leaves behind — is a pure function of the processor's
+// behavior-relevant state at the slice boundary (sys::Processor::
+// state_digest), the placement mode the adaptation loop picked, and the
+// number of buffered tasks. Battery state never enters: the SoC only
+// influences a slice *through* the hysteresis mode decision, which is an
+// exact field of the key, and the drain clamp is re-applied at replay time.
+// That is what lets the fleet replay memoized outcomes byte-identically to
+// the scalar Device::run path (pinned by tests/test_outcome_memo.cpp).
+//
+// Key anatomy (docs/PERF.md "Device-level memoization"):
+//   reuse_key  sys::processor_reuse_key(config, model) — which machine
+//   state      Processor::state_digest() before the slice — where it is
+//   n_tasks    the exact buffered-task count (the "load bucket")
+//   mode       fleet::DeviceMode for the slice (the "SoC bucket")
+// The buckets are exact, not approximations: two devices fall into the same
+// bucket only when the simulator would compute bit-identical slices for
+// them, so memoization changes wall-clock, never output.
+//
+// Concurrency mirrors placement::LutCache (docs/PERF.md "Parallel
+// scaling"): completed outcomes live in an immutable snapshot map published
+// through an atomic pointer — a hit is one acquire load plus a hash lookup,
+// no lock. Inserts arrive in per-device batches (one copy-on-write republish
+// per recorded device, not per slice), first writer wins per key; racing
+// inserts of the same key are benign because honest writers compute
+// identical values. Superseded snapshots are retired, not freed, until the
+// cache is destroyed, so a pointer returned by lookup() stays valid for the
+// cache's lifetime — even across clear().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace hhpim::fleet {
+
+/// Value-semantic memo key; equality compares every field, so outcomes are
+/// never shared across distinct machines, states, loads or modes.
+struct SliceOutcomeKey {
+  std::uint64_t reuse_key = 0;  ///< sys::processor_reuse_key(config, model)
+  std::uint64_t state = 0;      ///< Processor::state_digest() before the slice
+  std::uint32_t n_tasks = 0;    ///< buffered tasks executed this slice
+  std::uint8_t mode = 0;        ///< fleet::DeviceMode for the slice
+
+  [[nodiscard]] bool operator==(const SliceOutcomeKey&) const = default;
+
+  struct Hash {
+    [[nodiscard]] std::size_t operator()(const SliceOutcomeKey& k) const {
+      Fnv1a h;
+      h.add(k.reuse_key)
+          .add(k.state)
+          .add(static_cast<std::uint64_t>(k.n_tasks))
+          .add(static_cast<std::uint64_t>(k.mode));
+      return static_cast<std::size_t>(h.digest());
+    }
+  };
+};
+
+/// Everything a replayed slice contributes to a device run. `energy_pj` is
+/// the *requested* slice energy (sys::SliceStats::energy) — the battery's
+/// drain clamp is re-applied per device at replay time, which is also how
+/// exhaustion-boundary slices are detected and routed to the exact path.
+struct SliceOutcome {
+  double energy_pj = 0.0;
+  std::int64_t busy_ps = 0;
+  std::int64_t movement_ps = 0;
+  std::uint64_t post_state = 0;  ///< state_digest() after the slice
+  bool deadline_violated = false;
+};
+
+/// Per-device recording sink for the exact path: Device::run chains
+/// state digests across its slices and appends one (key, outcome) pair per
+/// slice. The buffer is reused across devices (clear(), capacity retained);
+/// the shard inserts it as one batch when the device completes.
+struct OutcomeRecorder {
+  std::uint64_t reuse_key = 0;
+  std::vector<std::pair<SliceOutcomeKey, SliceOutcome>> recorded;
+};
+
+/// Thread-safe memo of slice outcomes. One instance is process-wide
+/// (process_cache()); tests and benchmarks construct private instances.
+class OutcomeCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;        ///< lookup() calls that returned an outcome
+    std::uint64_t misses = 0;      ///< lookup() calls that returned nullptr
+    std::uint64_t insertions = 0;  ///< keys actually added (first writer only)
+    std::size_t entries = 0;       ///< keys in the current snapshot
+  };
+
+  OutcomeCache() = default;
+  OutcomeCache(const OutcomeCache&) = delete;
+  OutcomeCache& operator=(const OutcomeCache&) = delete;
+  ~OutcomeCache() = default;
+
+  /// Lock-free: the outcome memoized for `key`, or nullptr. The pointer
+  /// stays valid until the cache is destroyed (snapshots are retired, never
+  /// freed — memory stays proportional to insert batches actually
+  /// published, which state convergence keeps small).
+  [[nodiscard]] const SliceOutcome* lookup(const SliceOutcomeKey& key);
+
+  /// Publishes a device's recorded (key, outcome) pairs: one copy-on-write
+  /// republish for the whole batch, first writer wins per key, no republish
+  /// when every key is already present. Safe to call concurrently with
+  /// lookups and other inserts.
+  void insert_batch(
+      const std::vector<std::pair<SliceOutcomeKey, SliceOutcome>>& entries);
+
+  /// Forgets all entries and zeroes the counters. Outcomes already handed
+  /// out by lookup() stay valid (retired snapshots are kept).
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+
+  /// The process-wide instance FleetSimulator uses by default.
+  [[nodiscard]] static OutcomeCache& process_cache();
+
+ private:
+  /// Immutable map of memoized outcomes. Never mutated after publication —
+  /// mutation copies it and publishes the copy.
+  using ReadyMap =
+      std::unordered_map<SliceOutcomeKey, SliceOutcome, SliceOutcomeKey::Hash>;
+
+  /// Publishes `next` as the current snapshot (mu_ held). The superseded
+  /// snapshot is retired — kept alive until destruction so concurrent
+  /// lock-free readers (and held outcome pointers) stay safe.
+  void publish_locked(std::unique_ptr<const ReadyMap> next);
+
+  /// Current snapshot; readers load-acquire and never lock. Owned by
+  /// retired_ (every snapshot ever published lives there).
+  std::atomic<const ReadyMap*> ready_{nullptr};
+  std::vector<std::unique_ptr<const ReadyMap>> retired_;
+
+  mutable std::mutex mu_;  ///< guards retired_ and snapshot swaps
+
+  // Counter increments race only with each other; relaxed is enough.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+};
+
+}  // namespace hhpim::fleet

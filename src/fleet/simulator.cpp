@@ -12,6 +12,7 @@
 
 #include "common/align.hpp"
 #include "common/serialize.hpp"
+#include "fleet/outcome_cache.hpp"
 #include "placement/lut_cache.hpp"
 
 namespace hhpim::fleet {
@@ -44,12 +45,19 @@ placement::LutCache* FleetSimulator::resolve_lut_cache() const {
                                        : &placement::LutCache::process_cache();
 }
 
-void write_device_line(std::ostream& os, const DeviceResult& r) {
+OutcomeCache* FleetSimulator::resolve_outcome_cache() const {
+  if (!options_.memoize_devices) return nullptr;
+  return options_.outcome_cache != nullptr ? options_.outcome_cache
+                                           : &OutcomeCache::process_cache();
+}
+
+void write_device_line(std::ostream& os, const DeviceResult& r,
+                       const std::vector<std::string>& model_names) {
   JsonWriter w{os, JsonWriter::Style::kCompact};
   w.begin_object();
   w.field("device", static_cast<std::uint64_t>(r.id));
-  w.field("model", r.model);
-  w.field("scenario", r.scenario);
+  w.field("model", model_names[r.model_index]);
+  w.field("scenario", std::string_view{workload::to_string(r.scenario)});
   w.field("seed", r.seed);
   w.field("slice_ps", r.slice_ps);
   w.field("slices_total", r.slices_total);
@@ -71,7 +79,7 @@ void write_device_line(std::ostream& os, const DeviceResult& r) {
 }
 
 void FleetResult::write_jsonl(std::ostream& os) const {
-  for (const DeviceResult& r : devices) write_device_line(os, r);
+  for (const DeviceResult& r : devices) write_device_line(os, r, model_names);
 }
 
 std::string FleetResult::to_jsonl() const {
@@ -156,6 +164,9 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
   placement::LutCache* const cache = resolve_lut_cache();
   const placement::LutCache::Stats stats_before =
       cache != nullptr ? cache->stats() : placement::LutCache::Stats{};
+  OutcomeCache* const memo = resolve_outcome_cache();
+  const OutcomeCache::Stats memo_before =
+      memo != nullptr ? memo->stats() : OutcomeCache::Stats{};
 
   const std::size_t n = device_specs.size();
   const std::size_t shard_size = options_.shard_size;
@@ -163,9 +174,12 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
 
   FleetResult result{.fleet_name = spec.name,
                      .devices = {},
+                     .model_names = {},
                      .aggregate = FleetAggregate{spec.histograms},
                      .shard_count = shards,
                      .shard_size = shard_size};
+  result.model_names.reserve(models.size());
+  for (const nn::Model& m : models) result.model_names.push_back(m.name());
   if (options_.keep_results) result.devices.resize(n);
 
   // One slot per shard, each on its own cache line: a worker finishing
@@ -195,8 +209,9 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
   };
   const bool reuse = options_.reuse_processors;
   std::vector<ModelPool> model_pools(reuse ? models.size() : 0);
-  const sys::SystemConfig device_cfg =
-      reuse ? Device::device_config(spec, cache) : sys::SystemConfig{};
+  const sys::SystemConfig device_cfg = reuse || memo != nullptr
+                                           ? Device::device_config(spec, cache)
+                                           : sys::SystemConfig{};
 
   // Returns a processor for `m` in just-constructed state (pooled ones are
   // reset() outside the lock; construction also happens outside the lock).
@@ -222,7 +237,85 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
     mp.idle.push_back(std::move(p));
   };
 
-  auto run_shard = [&](std::size_t s) {
+  // Per-model constants of the memo path, computed once up front. Only
+  // models some device actually uses get a processor built here — building
+  // an unused model's LUT would bump lut_builds and break the memo-on /
+  // memo-off byte-identity of the summary. Pool processors are checked out
+  // and returned, so nothing extra is constructed under reuse.
+  struct ModelMemoInfo {
+    std::uint64_t reuse_key = 0;
+    std::uint64_t init_state = 0;  ///< state_digest() of a fresh processor
+    Time slice = Time::zero();
+    std::int64_t slice_ps = 0;
+  };
+  std::vector<ModelMemoInfo> model_info(memo != nullptr ? models.size() : 0);
+  if (memo != nullptr && n > 0) {
+    std::vector<char> used(models.size(), 0);
+    for (const DeviceSpec& ds : device_specs) used[ds.model_index] = 1;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      if (used[m] == 0) continue;
+      ModelMemoInfo& info = model_info[m];
+      info.reuse_key = sys::processor_reuse_key(device_cfg, models[m]);
+      if (reuse) {
+        std::unique_ptr<sys::Processor> p = checkout(m);
+        info.init_state = p->state_digest();
+        info.slice = p->slice_length();
+        give_back(m, std::move(p));
+      } else {
+        const sys::Processor p{device_cfg, models[m]};
+        info.init_state = p.state_digest();
+        info.slice = p.slice_length();
+      }
+      info.slice_ps = info.slice.as_ps();
+    }
+  }
+
+  // Battery constants shared by every device (the fleet has one
+  // BatteryConfig): replay lanes mirror energy::Battery on these raw pJ
+  // doubles. spec.expand() already validated the config.
+  const double capacity_pj =
+      memo != nullptr ? energy::Battery{spec.battery}.capacity().as_pj() : 0.0;
+  const double initial_charge_pj =
+      memo != nullptr ? energy::Battery{spec.battery}.charge().as_pj() : 0.0;
+  const auto k_dynamic = static_cast<std::uint8_t>(DeviceMode::kDynamic);
+  const auto k_low_power = static_cast<std::uint8_t>(DeviceMode::kLowPower);
+
+  // SoA hot state of one shard's replay lanes, owned per worker and reused
+  // across its shards (assign() keeps capacity): a memo-hit device advances
+  // entirely inside these arrays — no Processor, no Battery, no per-device
+  // allocation. sample_* buffer phase 1's per-slice aggregate samples so
+  // phase 2 can flush them device-major, in the exact order the scalar path
+  // feeds FleetAggregate (Summary adds are order-sensitive in the last
+  // floating-point bit).
+  struct ReplayScratch {
+    std::vector<std::vector<int>> loads;   ///< per-device trace, buffers reused
+    std::vector<std::uint8_t> replay;      ///< lane still on the memo path?
+    std::vector<double> charge_pj;         ///< Battery::charge mirror
+    std::vector<std::uint8_t> mode;        ///< DeviceMode
+    std::vector<std::uint32_t> switches;   ///< AdaptivePolicy::switches mirror
+    std::vector<std::uint64_t> state;      ///< current processor-state digest
+    std::vector<std::int32_t> buffered;    ///< arrivals awaiting execution
+    std::vector<double> energy_pj;
+    std::vector<std::int64_t> busy_ps;
+    std::vector<std::int64_t> max_busy_ps;
+    std::vector<std::int64_t> movement_ps;
+    std::vector<std::uint64_t> tasks;
+    std::vector<std::uint64_t> deadline_violations;
+    std::vector<std::int32_t> low_power;
+    std::vector<std::int64_t> sample_busy_ps;   ///< count x (slices+1)
+    std::vector<double> sample_energy_pj;       ///< count x (slices+1)
+    OutcomeRecorder recorder;
+    /// The shard's recorded outcomes, published in ONE insert_batch at
+    /// shard end: all of a shard's lookups happen in phase 1, before any
+    /// phase-2 device records, so batching per shard has the same hit
+    /// behavior as per-device inserts at a fraction of the copy-on-write
+    /// churn (one snapshot copy per shard with news, not one per device).
+    std::vector<std::pair<SliceOutcomeKey, SliceOutcome>> pending;
+  };
+  std::atomic<std::uint64_t> memo_replayed{0};
+  std::atomic<std::uint64_t> memo_exact{0};
+
+  auto run_shard = [&](std::size_t s, ReplayScratch& scratch) {
     const std::size_t begin = s * shard_size;
     const std::size_t end = std::min(n, begin + shard_size);
     FleetAggregate agg{spec.histograms};
@@ -236,30 +329,185 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
     std::unique_ptr<sys::Processor> held;
     std::size_t held_model = 0;
 
-    for (std::size_t i = begin; i < end; ++i) {
-      const DeviceSpec& ds = device_specs[i];
-      DeviceResult r;
-      if (reuse) {
-        if (held == nullptr) {
-          held = checkout(ds.model_index);
-          held_model = ds.model_index;
-        } else if (held_model != ds.model_index) {
-          give_back(held_model, std::move(held));
-          held = checkout(ds.model_index);
-          held_model = ds.model_index;
-        } else {
-          held->reset();
-        }
-        Device dev{spec, ds, models[ds.model_index], *held};
-        r = dev.run(&agg);
-      } else {
-        Device dev{spec, ds, models[ds.model_index], cache};
-        r = dev.run(&agg);
-      }
+    auto emit = [&](std::size_t i, DeviceResult&& r) {
       if (options_.keep_results) {
         result.devices[i] = std::move(r);
       } else if (stream) {
         local.push_back(std::move(r));
+      }
+    };
+
+    if (memo != nullptr) {
+      const std::size_t count = end - begin;
+      const auto total_slices = static_cast<std::size_t>(spec.slices) + 1;
+
+      if (scratch.loads.size() < count) scratch.loads.resize(count);
+      scratch.replay.assign(count, 1);
+      scratch.charge_pj.assign(count, initial_charge_pj);
+      scratch.mode.assign(count, k_dynamic);
+      scratch.switches.assign(count, 0);
+      scratch.state.resize(count);
+      scratch.buffered.assign(count, 0);
+      scratch.energy_pj.assign(count, 0.0);
+      scratch.busy_ps.assign(count, 0);
+      scratch.max_busy_ps.assign(count, 0);
+      scratch.movement_ps.assign(count, 0);
+      scratch.tasks.assign(count, 0);
+      scratch.deadline_violations.assign(count, 0);
+      scratch.low_power.assign(count, 0);
+      scratch.sample_busy_ps.resize(count * total_slices);
+      scratch.sample_energy_pj.resize(count * total_slices);
+      for (std::size_t i = 0; i < count; ++i) {
+        const DeviceSpec& ds = device_specs[begin + i];
+        device_loads_into(ds, scratch.loads[i]);
+        scratch.state[i] = model_info[ds.model_index].init_state;
+      }
+
+      // Phase 1 — slice-major lane advance. Each lane mirrors exactly what
+      // Device::run does around run_slice: hysteresis on the pre-drain SoC,
+      // then the battery clamp on the outcome's *requested* energy. A cold
+      // key or a clamped drain (exhaustion boundary) parks the lane for the
+      // exact path — its partial lane state is discarded wholesale, so
+      // nothing double-counts.
+      for (std::size_t k = 0; k < total_slices; ++k) {
+        for (std::size_t i = 0; i < count; ++i) {
+          if (scratch.replay[i] == 0) continue;
+          const DeviceSpec& ds = device_specs[begin + i];
+          if (spec.adapt) {
+            const double soc = scratch.charge_pj[i] / capacity_pj;
+            if (scratch.mode[i] == k_dynamic && soc <= spec.thresholds.low_soc) {
+              scratch.mode[i] = k_low_power;
+              ++scratch.switches[i];
+            } else if (scratch.mode[i] == k_low_power &&
+                       soc >= spec.thresholds.high_soc) {
+              scratch.mode[i] = k_dynamic;
+              ++scratch.switches[i];
+            }
+          }
+          const SliceOutcome* out = memo->lookup(
+              SliceOutcomeKey{model_info[ds.model_index].reuse_key,
+                              scratch.state[i],
+                              static_cast<std::uint32_t>(scratch.buffered[i]),
+                              scratch.mode[i]});
+          if (out == nullptr) {
+            scratch.replay[i] = 0;  // cold key -> exact path
+            continue;
+          }
+          const double requested = out->energy_pj;
+          const double drained =
+              requested < scratch.charge_pj[i] ? requested : scratch.charge_pj[i];
+          if (drained < requested) {
+            scratch.replay[i] = 0;  // exhaustion boundary -> exact path
+            continue;
+          }
+          scratch.charge_pj[i] -= drained;
+          scratch.tasks[i] += static_cast<std::uint64_t>(scratch.buffered[i]);
+          scratch.deadline_violations[i] += out->deadline_violated ? 1 : 0;
+          scratch.energy_pj[i] += drained;
+          scratch.busy_ps[i] += out->busy_ps;
+          scratch.max_busy_ps[i] = std::max(scratch.max_busy_ps[i], out->busy_ps);
+          scratch.movement_ps[i] += out->movement_ps;
+          if (scratch.mode[i] == k_low_power) ++scratch.low_power[i];
+          scratch.sample_busy_ps[i * total_slices + k] = out->busy_ps;
+          scratch.sample_energy_pj[i * total_slices + k] = out->energy_pj;
+          scratch.state[i] = out->post_state;
+          scratch.buffered[i] =
+              k + 1 < total_slices ? scratch.loads[i][k] : 0;
+        }
+      }
+
+      // Phase 2 — device-major flush, in device order: replayed lanes
+      // materialize their DeviceResult and feed the aggregate exactly as
+      // the scalar path would have; parked lanes run the full Device path
+      // at their ordinal position, recording their outcomes for everyone
+      // after them.
+      std::uint64_t shard_replayed = 0;
+      std::uint64_t shard_exact = 0;
+      scratch.pending.clear();
+      for (std::size_t i = 0; i < count; ++i) {
+        const DeviceSpec& ds = device_specs[begin + i];
+        DeviceResult r;
+        if (scratch.replay[i] != 0) {
+          const ModelMemoInfo& info = model_info[ds.model_index];
+          r.id = ds.id;
+          r.model_index = static_cast<std::uint32_t>(ds.model_index);
+          r.scenario = ds.scenario;
+          r.seed = ds.seed;
+          r.slice_ps = info.slice_ps;
+          r.slices_total = static_cast<int>(total_slices);
+          r.slices_executed = static_cast<int>(total_slices);
+          r.tasks = scratch.tasks[i];
+          r.tasks_dropped = 0;  // replayed devices never exhaust
+          r.deadline_violations = scratch.deadline_violations[i];
+          r.energy_pj = scratch.energy_pj[i];
+          r.battery_capacity_pj = capacity_pj;
+          r.final_soc = scratch.charge_pj[i] / capacity_pj;
+          r.exhausted_at_slice = -1;
+          r.mode_switches = scratch.switches[i];
+          r.low_power_slices = scratch.low_power[i];
+          r.busy_time_ps = scratch.busy_ps[i];
+          r.max_busy_ps = scratch.max_busy_ps[i];
+          r.movement_time_ps = scratch.movement_ps[i];
+          for (std::size_t k = 0; k < total_slices; ++k) {
+            const Time busy = Time::ps(scratch.sample_busy_ps[i * total_slices + k]);
+            agg.add_slice(
+                busy / info.slice, busy.as_us(),
+                Energy::pj(scratch.sample_energy_pj[i * total_slices + k]).as_mj());
+          }
+          agg.add_device(r);
+          ++shard_replayed;
+        } else {
+          scratch.recorder.reuse_key = model_info[ds.model_index].reuse_key;
+          scratch.recorder.recorded.clear();
+          if (reuse) {
+            if (held == nullptr) {
+              held = checkout(ds.model_index);
+              held_model = ds.model_index;
+            } else if (held_model != ds.model_index) {
+              give_back(held_model, std::move(held));
+              held = checkout(ds.model_index);
+              held_model = ds.model_index;
+            } else {
+              held->reset();
+            }
+            Device dev{spec, ds, models[ds.model_index], *held};
+            r = dev.run(&agg, scratch.loads[i], &scratch.recorder);
+          } else {
+            Device dev{spec, ds, models[ds.model_index], cache};
+            r = dev.run(&agg, scratch.loads[i], &scratch.recorder);
+          }
+          scratch.pending.insert(scratch.pending.end(),
+                                 scratch.recorder.recorded.begin(),
+                                 scratch.recorder.recorded.end());
+          ++shard_exact;
+        }
+        emit(begin + i, std::move(r));
+      }
+      if (!scratch.pending.empty()) memo->insert_batch(scratch.pending);
+      memo_replayed.fetch_add(shard_replayed, std::memory_order_relaxed);
+      memo_exact.fetch_add(shard_exact, std::memory_order_relaxed);
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        const DeviceSpec& ds = device_specs[i];
+        DeviceResult r;
+        if (reuse) {
+          if (held == nullptr) {
+            held = checkout(ds.model_index);
+            held_model = ds.model_index;
+          } else if (held_model != ds.model_index) {
+            give_back(held_model, std::move(held));
+            held = checkout(ds.model_index);
+            held_model = ds.model_index;
+          } else {
+            held->reset();
+          }
+          Device dev{spec, ds, models[ds.model_index], *held};
+          r = dev.run(&agg);
+        } else {
+          Device dev{spec, ds, models[ds.model_index], cache};
+          r = dev.run(&agg);
+        }
+        emit(i, std::move(r));
       }
     }
     if (held != nullptr) give_back(held_model, std::move(held));
@@ -272,10 +520,12 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
       std::ostringstream buf;
       if (options_.keep_results) {
         for (std::size_t i = begin; i < end; ++i) {
-          write_device_line(buf, result.devices[i]);
+          write_device_line(buf, result.devices[i], result.model_names);
         }
       } else {
-        for (const DeviceResult& r : local) write_device_line(buf, r);
+        for (const DeviceResult& r : local) {
+          write_device_line(buf, r, result.model_names);
+        }
       }
       const std::string path = shard_path(options_.shard_dir, s);
       std::ofstream out(path, std::ios::binary);
@@ -292,13 +542,14 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
       resolve_claim_batch(options_.claim_batch, shards, workers);
 
   auto worker = [&] {
+    ReplayScratch scratch;  // per-worker; lane buffers reused across shards
     for (;;) {
       const std::size_t base = next.fetch_add(batch, std::memory_order_relaxed);
       if (base >= shards) return;
       const std::size_t limit = std::min(shards, base + batch);
       for (std::size_t s = base; s < limit; ++s) {
         try {
-          run_shard(s);
+          run_shard(s, scratch);
         } catch (...) {
           const std::lock_guard<std::mutex> lock{error_mutex};
           if (!first_error) first_error = std::current_exception();
@@ -337,6 +588,13 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
                                 devices >= result.lut_builds
                             ? devices - result.lut_builds
                             : 0;
+  }
+  if (memo != nullptr) {
+    const OutcomeCache::Stats memo_after = memo->stats();
+    result.memo_replayed_devices = memo_replayed.load(std::memory_order_relaxed);
+    result.memo_exact_devices = memo_exact.load(std::memory_order_relaxed);
+    result.memo_hits = memo_after.hits - memo_before.hits;
+    result.memo_misses = memo_after.misses - memo_before.misses;
   }
   return result;
 }

@@ -12,6 +12,15 @@
 //     FleetAggregate per shard. Shard aggregate slots are cache-line
 //     aligned so sibling workers never false-share a line, and never more
 //     workers than shards are spawned (resolve_workers).
+//   * With FleetOptions::memoize_devices (default), a shard first advances
+//     all of its devices through the device-level outcome memo
+//     (fleet::OutcomeCache): per-device hot state lives in SoA lanes —
+//     charge, mode, counters, the processor-state digest — and a memo hit
+//     advances a lane without touching a sys::Processor at all. Devices
+//     that miss (cold keys, exhaustion-boundary slices) fall back to the
+//     full Device::run path, recording their outcomes for everyone after
+//     them. Replayed aggregate/JSONL output is byte-identical to the
+//     scalar path (see docs/PERF.md "Device-level memoization").
 //   * When FleetOptions::shard_dir is set, each worker streams its shard's
 //     device lines to <dir>/shard-NNNNN.jsonl as the shard completes — a
 //     fleet of millions never holds all results in memory
@@ -40,6 +49,8 @@ class LutCache;  // placement/lut_cache.hpp — only a pointer is stored here
 }
 
 namespace hhpim::fleet {
+
+class OutcomeCache;  // fleet/outcome_cache.hpp
 
 struct FleetOptions {
   /// Worker threads. 0 = one per hardware thread (min 1); 1 = run inline.
@@ -78,12 +89,27 @@ struct FleetOptions {
   /// workers × models as per-worker pools would be. Results are
   /// byte-identical with reuse on or off; only wall-clock changes.
   bool reuse_processors = true;
+  /// Device-level outcome memoization (fleet::OutcomeCache): devices whose
+  /// per-slice (processor state, mode, load) keys are all warm replay from
+  /// SoA hot-state lanes without constructing or running a Processor;
+  /// misses fall back to the exact Device::run path and record for later
+  /// devices. Output is byte-identical with memoization on or off at any
+  /// thread count (pinned by tests/test_outcome_memo.cpp); only wall-clock
+  /// changes.
+  bool memoize_devices = true;
+  /// Cache used when `memoize_devices` (not owned; must outlive the run).
+  /// nullptr = the process-wide fleet::OutcomeCache::process_cache().
+  OutcomeCache* outcome_cache = nullptr;
 };
 
 struct FleetResult {
   std::string fleet_name;
   /// Per-device results in device-id order (empty when !keep_results).
   std::vector<DeviceResult> devices;
+  /// The run's model-name table: DeviceResult::model_index points in here
+  /// (the FleetSpec's resolved model population, in order). Interning the
+  /// name at the spec level is what keeps DeviceResult allocation-free.
+  std::vector<std::string> model_names;
   FleetAggregate aggregate;
   std::size_t shard_count = 0;
   std::size_t shard_size = 0;
@@ -95,6 +121,16 @@ struct FleetResult {
   /// or off. builds ≪ devices is the fleet's whole economy.
   std::uint64_t lut_builds = 0;
   std::uint64_t lut_shared = 0;
+
+  /// Device-memo economy of this run (zero when memoization is off). The
+  /// replayed/exact split is deterministic at one thread; hit/miss deltas
+  /// vary with worker interleaving and cache warmth — which is exactly why
+  /// none of these appear in summary_to_json() (the summary must stay
+  /// byte-identical at any thread count and with the memo toggled).
+  std::uint64_t memo_replayed_devices = 0;  ///< advanced wholly via the memo
+  std::uint64_t memo_exact_devices = 0;     ///< ran the full Device::run path
+  std::uint64_t memo_hits = 0;              ///< OutcomeCache stats delta
+  std::uint64_t memo_misses = 0;
 
   /// One compact JSON object per device, '\n'-separated (JSON Lines).
   /// Byte-identical to the concatenation of the run's shard files.
@@ -108,8 +144,10 @@ struct FleetResult {
 };
 
 /// Writes one device's compact JSONL line (shared by shard streaming and
-/// FleetResult::write_jsonl so the bytes agree). Appends '\n'.
-void write_device_line(std::ostream& os, const DeviceResult& r);
+/// FleetResult::write_jsonl so the bytes agree). `model_names` resolves
+/// DeviceResult::model_index (FleetResult::model_names). Appends '\n'.
+void write_device_line(std::ostream& os, const DeviceResult& r,
+                       const std::vector<std::string>& model_names);
 
 class FleetSimulator {
  public:
@@ -122,6 +160,9 @@ class FleetSimulator {
   [[nodiscard]] const FleetOptions& options() const { return options_; }
   /// The cache this run will use (nullptr when sharing is off).
   [[nodiscard]] placement::LutCache* resolve_lut_cache() const;
+  /// The device-outcome memo this run will use (nullptr when memoization
+  /// is off).
+  [[nodiscard]] OutcomeCache* resolve_outcome_cache() const;
   [[nodiscard]] static unsigned resolve_threads(unsigned requested);
   /// Workers actually spawned for a `requested` thread count over `shards`
   /// shards: min(resolve_threads(requested), shards), at least 1. Surplus

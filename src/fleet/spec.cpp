@@ -96,12 +96,17 @@ std::vector<DeviceSpec> FleetSpec::expand() const {
 }
 
 std::vector<int> device_loads(const DeviceSpec& spec) {
-  std::vector<int> loads = workload::generate(spec.scenario, spec.cfg);
-  const auto phase = static_cast<std::size_t>(spec.phase) % loads.size();
-  std::rotate(loads.begin(),
-              loads.begin() + static_cast<std::vector<int>::difference_type>(phase),
-              loads.end());
+  std::vector<int> loads;
+  device_loads_into(spec, loads);
   return loads;
+}
+
+void device_loads_into(const DeviceSpec& spec, std::vector<int>& out) {
+  workload::generate_into(spec.scenario, spec.cfg, out);
+  const auto phase = static_cast<std::size_t>(spec.phase) % out.size();
+  std::rotate(out.begin(),
+              out.begin() + static_cast<std::vector<int>::difference_type>(phase),
+              out.end());
 }
 
 }  // namespace hhpim::fleet

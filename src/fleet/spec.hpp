@@ -100,4 +100,9 @@ struct FleetSpec {
 /// The materialized per-slice load trace of one device: generate + rotate.
 [[nodiscard]] std::vector<int> device_loads(const DeviceSpec& spec);
 
+/// device_loads() into a caller-owned buffer (resized, capacity reused) —
+/// what the fleet's shard workers call per device so trace regeneration
+/// allocates nothing after the first device of a shard.
+void device_loads_into(const DeviceSpec& spec, std::vector<int>& out);
+
 }  // namespace hhpim::fleet

@@ -418,7 +418,13 @@ SliceDecision Processor::decide_override(const placement::Allocation& target,
 SliceStats Processor::run_slice(int n_tasks) {
   const Time slice_start = now_;
   const Time slice_end = slice_start + slice_;
-  const Energy before = ledger_.total();
+  // Slice energy is read from the ledger's window, not as a delta of the
+  // cumulative totals: the window sums this slice's posts from zero, so the
+  // reported bits depend only on the slice's own behavior — never on how
+  // much energy the run accumulated before it. The fleet's device-outcome
+  // memo replays slices across devices with different histories and relies
+  // on exactly that (fleet/outcome_cache.hpp).
+  ledger_.begin_window();
 
   // NOTE: `d` may reference a memo entry — it must not outlive any call that
   // mutates memo_ (none happens below).
@@ -451,7 +457,7 @@ SliceStats Processor::run_slice(int n_tasks) {
   now_ = std::max(slice_end, cursor);
   if (hp_.has_value()) hp_->settle(now_);
   if (lp_.has_value()) lp_->settle(now_);
-  stats.energy = ledger_.total() - before;
+  stats.energy = ledger_.window_total();
   return stats;
 }
 
@@ -494,6 +500,21 @@ void Processor::reset() {
   // convention; see the constructor).
   current_ = policy_->initial();
   apply_residency(current_);
+}
+
+std::uint64_t Processor::state_digest() const {
+  Fnv1a h;
+  for (const std::uint64_t w : current_.weights) h.add(w);
+  h.add(override_.has_value() ? 1 : 0);
+  if (override_.has_value()) {
+    for (const std::uint64_t w : override_->weights) h.add(w);
+  }
+  h.add(hp_.has_value() ? 1 : 0);
+  if (hp_.has_value()) hp_->add_state(h, now_);
+  h.add(lp_.has_value() ? 1 : 0);
+  if (lp_.has_value()) lp_->add_state(h, now_);
+  xfer_->add_state(h, now_);
+  return h.digest();
 }
 
 std::uint64_t processor_reuse_key(const SystemConfig& config,

@@ -147,6 +147,20 @@ class Processor {
   /// run. Cost: O(components); no allocation, no LUT work.
   void reset();
 
+  /// FNV digest of every piece of mutable state that determines future
+  /// behavior, with times translated relative to the internal clock. Two
+  /// processors built from the same processor_reuse_key inputs whose
+  /// state_digest() agree at a slice boundary produce bit-identical
+  /// SliceStats (and equal successor digests) for equal run_slice inputs —
+  /// the invariant the fleet's device-level outcome memo
+  /// (fleet::OutcomeCache) is keyed on; pinned by tests/test_outcome_memo.
+  /// Cumulative counters, the ledger, now_ and the slice index are excluded
+  /// (history / translation-invariant); the decision memo is excluded
+  /// because decisions are pure. Meaningful at slice boundaries (after
+  /// construction, reset() or run_slice) — mid-operation state is not
+  /// digested.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
   [[nodiscard]] Time slice_length() const { return slice_; }
   [[nodiscard]] const placement::CostModel& cost_model() const { return cost_; }
   [[nodiscard]] const energy::EnergyLedger& ledger() const { return ledger_; }

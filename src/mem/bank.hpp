@@ -8,10 +8,12 @@
 // retention: MRAM keeps its contents across gating, SRAM loses them).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/units.hpp"
 #include "energy/ledger.hpp"
 #include "energy/power_spec.hpp"
@@ -115,6 +117,24 @@ class Bank {
   /// counters and on-time, contents invalid (SRAM semantics) and zeroed if
   /// ever written. The owning processor resets the ledger separately.
   void reset_accounting();
+
+  /// Folds the bank's behavior-relevant state into `h`, times translated
+  /// relative to `now` (sys::Processor::state_digest contract: two banks
+  /// with equal digests at a slice boundary behave identically for all
+  /// future operations). Cumulative counters, on-time totals and the
+  /// ledger are deliberately excluded — they record history, not behavior.
+  /// Storage *contents* are represented only by the data_valid/dirty flags:
+  /// the accounting-only burst path (charge_reads/charge_writes) never
+  /// writes functional data, so dirty banks simply never share a digest.
+  void add_state(Fnv1a& h, Time now) const {
+    h.add(tracker_.is_on() ? 1 : 0)
+        .add(static_cast<std::uint64_t>(active_bytes_))
+        .add(data_valid_ ? 1 : 0)
+        .add(storage_dirty_ ? 1 : 0)
+        .add(tracker_.is_on() ? (tracker_.anchor() - now).as_ps()
+                              : std::int64_t{0})
+        .add(std::max<std::int64_t>((busy_until_ - now).as_ps(), 0));
+  }
 
   // --- Untimed (functional) accesses — used by the RISC-V bus --------------
 

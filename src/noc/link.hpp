@@ -3,9 +3,11 @@
 // transfer is serializing; back-to-back transfers queue.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
+#include "common/hash.hpp"
 #include "common/units.hpp"
 #include "energy/ledger.hpp"
 
@@ -43,6 +45,15 @@ class Link {
   void reset_accounting() {
     busy_until_ = Time::zero();
     bytes_moved_ = 0;
+  }
+
+  /// Behavior-relevant state relative to `now` (see mem::Bank::add_state):
+  /// only the occupancy horizon; bytes_moved is history.
+  void add_state(Fnv1a& h, Time now) const {
+    // Clamped at 0: a horizon in the past is behaviorally "free now"
+    // (transfer() starts at max(now, busy_until_)) — see
+    // pim::PimModule::add_state.
+    h.add(std::max<std::int64_t>((busy_until_ - now).as_ps(), 0));
   }
 
  private:

@@ -3,10 +3,12 @@
 // requantization back to int8) and timed/powered per the cluster spec.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
 
+#include "common/hash.hpp"
 #include "common/units.hpp"
 #include "energy/ledger.hpp"
 #include "energy/power_spec.hpp"
@@ -64,6 +66,15 @@ class ProcessingElement {
   void fast_forward(Time anchor_shift, Time extra_on, std::uint64_t extra_macs) {
     tracker_.fast_forward(anchor_shift, extra_on);
     macs_ += extra_macs;
+  }
+
+  /// Behavior-relevant state relative to `now` (see mem::Bank::add_state);
+  /// the MAC counter and on-time totals are history, not behavior.
+  void add_state(Fnv1a& h, Time now) const {
+    h.add(tracker_.is_on() ? 1 : 0)
+        .add(tracker_.is_on() ? (tracker_.anchor() - now).as_ps()
+                              : std::int64_t{0})
+        .add(std::max<std::int64_t>((busy_until_ - now).as_ps(), 0));
   }
 
   /// Returns accounting state to just-constructed (off, zero counters).

@@ -73,6 +73,14 @@ class Cluster {
   /// the ledger separately).
   void reset_accounting();
 
+  /// Behavior-relevant state of every module and the controller, relative
+  /// to `now` (see mem::Bank::add_state).
+  void add_state(Fnv1a& h, Time now) const {
+    h.add(static_cast<std::uint64_t>(modules_.size()));
+    for (const auto& m : modules_) m->add_state(h, now);
+    controller_->add_state(h, now);
+  }
+
  private:
   ClusterConfig config_;
   energy::EnergyLedger* ledger_;

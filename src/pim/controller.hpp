@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/units.hpp"
 #include "energy/ledger.hpp"
 #include "isa/instruction.hpp"
@@ -79,6 +80,18 @@ class PimController {
 
   /// Closes the controller leakage window.
   void settle(Time now) { tracker_.settle(now); }
+
+  /// Behavior-relevant state relative to `now` (see mem::Bank::add_state):
+  /// FSM state, queue depth, leakage window and the allocator's link. The
+  /// retired-instruction counter is history.
+  void add_state(Fnv1a& h, Time now) const {
+    h.add(static_cast<int>(state_))
+        .add(static_cast<std::uint64_t>(queue_.size()))
+        .add(tracker_.is_on() ? 1 : 0)
+        .add(tracker_.is_on() ? (tracker_.anchor() - now).as_ps()
+                              : std::int64_t{0});
+    allocator_.add_state(h, now);
+  }
 
   /// Returns FSM/accounting state to just-constructed (processor reuse).
   /// Queued instructions are not dropped — the slice-loop workload path

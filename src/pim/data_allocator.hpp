@@ -68,6 +68,10 @@ class DataAllocator {
     mem_interface_.reset_accounting();
   }
 
+  /// Behavior-relevant state relative to `now` (see mem::Bank::add_state):
+  /// the MEM-interface occupancy; total_weights_moved is history.
+  void add_state(Fnv1a& h, Time now) const { mem_interface_.add_state(h, now); }
+
  private:
   /// One pipelined chunked transfer between two modules.
   Time run_transfer(Time now, const TransferRequest& req);

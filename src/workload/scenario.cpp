@@ -77,6 +77,12 @@ int poisson_draw(Rng& rng, double mean) {
 }  // namespace
 
 std::vector<int> generate(Scenario s, const ScenarioConfig& cfg) {
+  std::vector<int> loads;
+  generate_into(s, cfg, loads);
+  return loads;
+}
+
+void generate_into(Scenario s, const ScenarioConfig& cfg, std::vector<int>& out) {
   if (s == Scenario::kTrace) {
     // Replay: the trace defines both the counts and the run length.
     std::vector<int> loads = cfg.trace_path.empty() ? cfg.trace : load_trace(cfg.trace_path);
@@ -86,12 +92,14 @@ std::vector<int> generate(Scenario s, const ScenarioConfig& cfg) {
     for (const int l : loads) {
       if (l < 0) throw std::invalid_argument("trace replay: negative load");
     }
-    return loads;
+    out = std::move(loads);
+    return;
   }
   if (cfg.slices <= 0 || cfg.low < 0 || cfg.high < cfg.low) {
     throw std::invalid_argument("ScenarioConfig: need slices > 0 and 0 <= low <= high");
   }
-  std::vector<int> loads(static_cast<std::size_t>(cfg.slices), cfg.low);
+  std::vector<int>& loads = out;
+  loads.assign(static_cast<std::size_t>(cfg.slices), cfg.low);
   switch (s) {
     case Scenario::kLowConstant:
       break;  // all low
@@ -161,7 +169,6 @@ std::vector<int> generate(Scenario s, const ScenarioConfig& cfg) {
     case Scenario::kTrace:
       break;  // handled above
   }
-  return loads;
 }
 
 void save_trace(const std::string& path, const std::vector<int>& loads) {

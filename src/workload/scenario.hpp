@@ -66,6 +66,12 @@ struct ScenarioConfig {
 /// cfg.slices is ignored for it).
 [[nodiscard]] std::vector<int> generate(Scenario s, const ScenarioConfig& cfg = {});
 
+/// generate() into a caller-owned buffer (resized to the trace length,
+/// capacity reused): the fleet's shard workers regenerate one trace per
+/// device, and reusing the buffer removes that per-device allocation.
+/// Identical output to generate().
+void generate_into(Scenario s, const ScenarioConfig& cfg, std::vector<int>& out);
+
 /// Writes a load trace to `path` (one count per line, '#' comments allowed on
 /// read). Throws std::runtime_error on I/O failure.
 void save_trace(const std::string& path, const std::vector<int>& loads);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "fleet/outcome_cache.hpp"
 #include "fleet/simulator.hpp"
 #include "hhpim/processor.hpp"
 #include "nn/zoo.hpp"
@@ -332,6 +333,59 @@ TEST(ProcessorPool, ConcurrentCheckoutsAreDistinctAndRecycled) {
   std::uint64_t alias_total = 0;
   for (int t = 0; t < kThreads; ++t) alias_total += aliased[static_cast<std::size_t>(t)];
   EXPECT_EQ(alias_total, 0u);
+}
+
+// --- outcome-cache get-or-insert stress --------------------------------------
+
+// 8 threads race lookup/insert_batch over an overlapping key range — the
+// device-memo access pattern (miss -> run exact -> publish batch). Honest
+// writers compute identical values, so any hit must carry the key's
+// canonical value no matter which thread's insert won. Each worker records
+// mismatches into its own slot; asserts run after the join (TSan-clean).
+TEST(FleetConcurrency, OutcomeCacheConcurrentGetOrInsert) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 64;
+  constexpr int kIters = 400;
+  fleet::OutcomeCache cache;
+  std::atomic<bool> start{false};
+  std::vector<std::uint64_t> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &start, &mismatches, t] {
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      std::vector<std::pair<fleet::SliceOutcomeKey, fleet::SliceOutcome>> batch;
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t k =
+            (static_cast<std::uint64_t>(i) + static_cast<std::uint64_t>(t) * 7) % kKeys;
+        const fleet::SliceOutcomeKey key{1, k, static_cast<std::uint32_t>(k % 3),
+                                         static_cast<std::uint8_t>(k % 2)};
+        const fleet::SliceOutcome* hit = cache.lookup(key);
+        if (hit == nullptr) {
+          batch.assign(1, {key, fleet::SliceOutcome{static_cast<double>(k),
+                                                    static_cast<std::int64_t>(k), 0,
+                                                    k ^ 0xabcdULL, false}});
+          cache.insert_batch(batch);
+        } else if (hit->post_state != (k ^ 0xabcdULL) ||
+                   hit->energy_pj != static_cast<double>(k)) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  std::uint64_t total = 0;
+  for (const std::uint64_t m : mismatches) total += m;
+  EXPECT_EQ(total, 0u);
+  const fleet::OutcomeCache::Stats s = cache.stats();
+  // Every residue mod kKeys is visited, so the snapshot converges to
+  // exactly the canonical key set (first writer wins, no duplicates).
+  EXPECT_EQ(s.entries, static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(s.insertions, kKeys);
+  EXPECT_GT(s.hits, 0u);
 }
 
 // --- fleet identity across threads and claim batching ------------------------
