@@ -11,12 +11,20 @@
 //               [--seed=S] [--lut=R]
 //               [--capacity-mj=250] [--initial-soc=1.0]
 //               [--soc-low=0.3] [--soc-high=0.5] [--no-adapt]
+//               [--join-fraction=F] [--leave-fraction=F]   (device churn)
+//               [--charge-period=P] [--charge-window=W] [--charge-mj=E]
+//               [--envelope=pulsing|random|...] [--envelope-min=M]
+//               [--envelope-max=M] [--envelope-seed=S]
+//               [--checkpoint-every=N]  (run as resumable N-slice segments)
+//               [--snapshot-dir=DIR]    (save/load each segment's snapshot)
 //               [--no-lut-cache] [--no-device-memo] [--no-results]
 //               [--jsonl=PATH|-] [--summary=PATH|-] [--shard-dir=DIR] [--quiet]
 //
 // The same spec at any --threads value produces byte-identical JSONL and
 // summary output — CI diffs --threads=1 against --threads=2 as a
-// determinism smoke check.
+// determinism smoke check. With --checkpoint-every=N the fleet runs as
+// ceil(slices/N) segments through FleetSnapshot serialization and the output
+// is byte-identical to the one-shot run — CI diffs that too.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -68,6 +76,27 @@ int main(int argc, char** argv) {
   spec.thresholds.low_soc = cli.get_double("soc-low", 0.3);
   spec.thresholds.high_soc = cli.get_double("soc-high", 0.5);
   spec.adapt = !cli.get_bool("no-adapt", false);
+
+  spec.lifecycle.join_fraction = cli.get_double("join-fraction", 0.0);
+  spec.lifecycle.leave_fraction = cli.get_double("leave-fraction", 0.0);
+  spec.charging.period = static_cast<int>(cli.get_int("charge-period", 0));
+  spec.charging.window = static_cast<int>(cli.get_int("charge-window", 0));
+  spec.charging.energy_per_slice = Energy::mj(cli.get_double("charge-mj", 0.0));
+
+  const std::string envelope_arg = cli.get("envelope", "");
+  if (!envelope_arg.empty()) {
+    const auto shape = workload::from_string(envelope_arg);
+    if (!shape.has_value()) {
+      std::fprintf(stderr, "unknown envelope shape '%s'\n", envelope_arg.c_str());
+      return 1;
+    }
+    spec.envelope.enabled = true;
+    spec.envelope.shape = *shape;
+    spec.envelope.min_multiplier = cli.get_double("envelope-min", 0.5);
+    spec.envelope.max_multiplier = cli.get_double("envelope-max", 1.5);
+    spec.envelope.seed =
+        static_cast<std::uint64_t>(cli.get_int("envelope-seed", 0xd1a2025));
+  }
 
   const auto lut = static_cast<int>(cli.get_int("lut", 96));
   spec.config.lut_t_entries = lut;
@@ -125,18 +154,46 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const int checkpoint_every =
+      static_cast<int>(cli.get_int("checkpoint-every", 0));
+  const std::string snapshot_dir = cli.get("snapshot-dir", "");
+  const bool quiet = cli.get_bool("quiet", false);
+
   const auto t0 = std::chrono::steady_clock::now();
   fleet::FleetResult result;
+  int segments = 1;
   try {
-    result = sim.run(spec);
+    if (checkpoint_every > 0) {
+      // Segmented run: checkpoint at every N-slice boundary, forcing each
+      // snapshot through full serialization (bytes, or files under
+      // --snapshot-dir) so the round-trip is what actually gets exercised.
+      fleet::FleetSnapshot snap;
+      bool have = false;
+      for (int end = checkpoint_every; end < spec.slices;
+           end += checkpoint_every) {
+        snap = sim.run_to(spec, end, have ? &snap : nullptr);
+        if (!snapshot_dir.empty()) {
+          char name[64];
+          std::snprintf(name, sizeof name, "/snapshot-%06d.bin", end);
+          const std::string path = snapshot_dir + name;
+          snap.save(path);
+          snap = fleet::FleetSnapshot::load(path);
+        } else {
+          snap = fleet::FleetSnapshot::from_bytes(snap.to_bytes());
+        }
+        have = true;
+        ++segments;
+      }
+      result = have ? sim.resume(spec, snap) : sim.run(spec);
+    } else {
+      result = sim.run(spec);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fleet run failed: %s\n", e.what());
     return 1;
   }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-
-  const bool quiet = cli.get_bool("quiet", false);
   if (!quiet) {
     const auto& a = result.aggregate;
     std::printf("fleet: %d devices x %d slices, %zu shards of %zu "
@@ -146,6 +203,11 @@ int main(int argc, char** argv) {
                 opts.share_luts ? "on" : "off",
                 static_cast<unsigned long long>(result.lut_builds),
                 static_cast<unsigned long long>(result.lut_shared));
+    if (checkpoint_every > 0) {
+      std::printf("checkpointing: %d segment(s) of %d slice(s)%s\n", segments,
+                  checkpoint_every,
+                  snapshot_dir.empty() ? "" : " via snapshot files");
+    }
     if (opts.memoize_devices) {
       // Stats only — hit/miss counts vary with worker interleaving, which is
       // why they are printed here and never written into the summary JSON.

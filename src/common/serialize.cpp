@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 namespace hhpim {
@@ -175,6 +176,63 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
     os_ << escape(cells[i]);
   }
   os_ << '\n';
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteWriter::blob(std::string_view v) {
+  u64(v.size());
+  raw(v);
+}
+
+std::uint64_t ByteReader::take(std::size_t n) {
+  if (remaining() < n) {
+    throw std::runtime_error(
+        "snapshot: truncated stream (need " + std::to_string(n) +
+        " bytes at offset " + std::to_string(pos_) + ", have " +
+        std::to_string(remaining()) + ")");
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += n;
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string_view ByteReader::blob() {
+  const std::uint64_t n = u64();
+  if (n > remaining()) {
+    throw std::runtime_error(
+        "snapshot: truncated blob (declares " + std::to_string(n) +
+        " bytes at offset " + std::to_string(pos_) + ", have " +
+        std::to_string(remaining()) + ")");
+  }
+  return raw(static_cast<std::size_t>(n));
+}
+
+std::string_view ByteReader::raw(std::size_t n) {
+  if (remaining() < n) {
+    throw std::runtime_error(
+        "snapshot: truncated stream (need " + std::to_string(n) +
+        " bytes at offset " + std::to_string(pos_) + ", have " +
+        std::to_string(remaining()) + ")");
+  }
+  const std::string_view v = bytes_.substr(pos_, n);
+  pos_ += n;
+  return v;
 }
 
 }  // namespace hhpim

@@ -1,9 +1,13 @@
-// Minimal deterministic JSON and CSV writers for experiment results.
+// Minimal deterministic JSON and CSV writers for experiment results, plus
+// the fixed-width binary reader/writer pair the fleet checkpoint format is
+// built on.
 //
-// Both writers produce byte-stable output for equal inputs: keys are emitted
-// in call order, doubles use std::to_chars shortest round-trip formatting,
+// All writers produce byte-stable output for equal inputs: JSON keys are
+// emitted in call order, doubles use std::to_chars shortest round-trip
+// formatting (or, for the binary writer, their exact IEEE-754 bit pattern),
 // and no locale-dependent formatting is involved — which is what lets the
-// experiment runner diff a multi-threaded run against a single-threaded one.
+// experiment runner diff a multi-threaded run against a single-threaded one
+// and the fleet simulator restore a checkpoint byte-identically.
 #pragma once
 
 #include <cstdint>
@@ -82,6 +86,68 @@ class JsonWriter {
   std::vector<Ctx> stack_;
   std::vector<bool> first_;  // parallel to stack_: no comma yet at this level
   bool top_written_ = false;
+};
+
+/// Appending binary writer: fixed-width little-endian integers, doubles as
+/// their raw IEEE-754 bit pattern (exact round trip, no decimal detour).
+/// The byte stream it produces is host-independent for the types used —
+/// which is what makes fleet checkpoints portable across processes.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { append(v, 2); }
+  void u32(std::uint32_t v) { append(v, 4); }
+  void u64(std::uint64_t v) { append(v, 8); }
+  void i32(std::int32_t v) { append(static_cast<std::uint32_t>(v), 4); }
+  void i64(std::int64_t v) { append(static_cast<std::uint64_t>(v), 8); }
+  void f64(double v);
+  /// Length-prefixed (u64) byte run.
+  void blob(std::string_view v);
+  /// Raw bytes, no length prefix (caller owns the framing).
+  void raw(std::string_view v) { bytes_.append(v); }
+
+  [[nodiscard]] const std::string& bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  /// Moves the accumulated bytes out; the writer is empty afterwards.
+  [[nodiscard]] std::string take() { return std::move(bytes_); }
+
+ private:
+  void append(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) {
+      bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+  }
+  std::string bytes_;
+};
+
+/// Reader over a ByteWriter stream. Every accessor throws std::runtime_error
+/// with a position diagnostic when the stream is shorter than the requested
+/// field — a truncated snapshot fails loudly, never misreads.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)); }
+  [[nodiscard]] std::uint16_t u16() { return static_cast<std::uint16_t>(take(2)); }
+  [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
+  [[nodiscard]] std::uint64_t u64() { return take(8); }
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(take(4)); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(take(8)); }
+  [[nodiscard]] double f64();
+  /// Length-prefixed (u64) byte run, as written by ByteWriter::blob.
+  [[nodiscard]] std::string_view blob();
+  /// `n` raw bytes.
+  [[nodiscard]] std::string_view raw(std::size_t n);
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::uint64_t take(std::size_t n);
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
 };
 
 /// CSV writer (RFC 4180 quoting: fields containing comma, quote or newline

@@ -32,6 +32,14 @@ void Battery::recharge(Energy e) {
   if (charge_ > capacity_) charge_ = capacity_;
 }
 
+void Battery::restore_charge(Energy e) {
+  if (e < Energy::zero() || e > capacity_) {
+    throw std::invalid_argument(
+        "Battery::restore_charge: charge outside [0, capacity]");
+  }
+  charge_ = e;
+}
+
 double Battery::soc() const { return charge_ / capacity_; }
 
 }  // namespace hhpim::energy

@@ -47,6 +47,10 @@ class Battery {
   /// the charge above zero.
   void recharge(Energy e);
 
+  /// Checkpoint restore: sets the charge to exactly `e` (the bits a prior
+  /// charge() returned). Throws std::invalid_argument outside [0, capacity].
+  void restore_charge(Energy e);
+
   /// State of charge in [0, 1].
   [[nodiscard]] double soc() const;
   [[nodiscard]] Energy charge() const { return charge_; }

@@ -160,6 +160,17 @@ class LeakageTracker {
     total_on_ = Time::zero();
   }
 
+  /// Checkpoint restore: sets the power state directly without posting
+  /// anything to the ledger. `anchor` is the open-interval start to resume
+  /// from (ignored while off); accumulated on-time stays wherever reset()
+  /// left it — on-time totals are history, and the checkpoint contract
+  /// (sys::Processor::state_digest) excludes history.
+  void restore(bool on, Time anchor, Power leakage) {
+    leakage_ = leakage;
+    on_ = on;
+    on_since_ = on ? anchor : Time::zero();
+  }
+
   [[nodiscard]] bool is_on() const { return on_; }
   [[nodiscard]] Time total_on_time() const { return total_on_; }
   [[nodiscard]] Power leakage() const { return leakage_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/serialize.hpp"
 #include "fleet/aggregate.hpp"
 #include "fleet/outcome_cache.hpp"
 #include "hhpim/scheduler.hpp"
@@ -9,11 +10,19 @@
 namespace hhpim::fleet {
 
 sys::SystemConfig Device::device_config(const FleetSpec& fleet,
+                                        const DeviceSpec& spec,
                                         placement::LutCache* lut_cache) {
-  sys::SystemConfig c = fleet.config;
+  sys::SystemConfig c = fleet.resolved_firmware()[spec.firmware_index];
   // The spec's own lut_cache is rejected by FleetSpec::validate(); the
   // simulator's resolved cache (may be null = private builds) is the only
   // one devices ever see, so its stats delta covers every build.
+  c.lut_cache = lut_cache;
+  return c;
+}
+
+sys::SystemConfig Device::device_config(const FleetSpec& fleet,
+                                        placement::LutCache* lut_cache) {
+  sys::SystemConfig c = fleet.config;
   c.lut_cache = lut_cache;
   return c;
 }
@@ -23,7 +32,7 @@ Device::Device(const FleetSpec& fleet, const DeviceSpec& spec,
     : fleet_(fleet),
       spec_(spec),
       model_(model),
-      owned_(std::in_place, device_config(fleet, lut_cache), model),
+      owned_(std::in_place, device_config(fleet, spec, lut_cache), model),
       proc_(&*owned_),
       battery_(fleet.battery),
       policy_(fleet.thresholds),
@@ -45,22 +54,65 @@ Device::Device(const FleetSpec& fleet, const DeviceSpec& spec,
                                                       proc_->total_weights())
                            : placement::Allocation{}) {}
 
+bool Device::has_drain() const {
+  return spec_.leave_slice < 0 || spec_.leave_slice >= fleet_.slices;
+}
+
+int Device::total_steps(const std::vector<int>& loads) const {
+  return static_cast<int>(loads.size()) + (has_drain() ? 1 : 0);
+}
+
 DeviceResult Device::run(FleetAggregate* agg) {
-  return run(agg, device_loads(spec_), nullptr);
+  std::vector<int> loads;
+  device_loads_into(spec_, fleet_.envelope_multipliers(), loads);
+  return run(agg, loads, nullptr);
 }
 
 DeviceResult Device::run(FleetAggregate* agg, const std::vector<int>& loads,
                          OutcomeRecorder* recorder) {
-  const Time slice = proc_->slice_length();
+  DeviceProgress p;
+  start_progress(p, loads);
+  run_steps(p, loads, total_steps(loads), agg, recorder);
+  if (agg != nullptr) agg->add_device(p.result);
+  return p.result;
+}
 
-  DeviceResult r;
+void Device::start_progress(DeviceProgress& p, const std::vector<int>& loads) const {
+  DeviceResult& r = p.result;
   r.id = spec_.id;
   r.model_index = static_cast<std::uint32_t>(spec_.model_index);
   r.scenario = spec_.scenario;
   r.seed = spec_.seed;
-  r.slice_ps = slice.as_ps();
-  r.slices_total = static_cast<int>(loads.size()) + 1;  // + drain slice
+  r.slice_ps = proc_->slice_length().as_ps();
+  r.slices_total = total_steps(loads);
   r.battery_capacity_pj = battery_.capacity().as_pj();
+  p.started = true;
+}
+
+void Device::capture_progress(DeviceProgress& p) const {
+  p.mode = static_cast<std::uint8_t>(policy_.mode());
+  p.switches = policy_.switches();
+  p.charge_pj = battery_.charge().as_pj();
+  ByteWriter w;
+  proc_->save_state(w);
+  p.proc_state = w.take();
+}
+
+void Device::restore_progress(const DeviceProgress& p) {
+  battery_.restore_charge(Energy::pj(p.charge_pj));
+  policy_.restore(static_cast<DeviceMode>(p.mode), p.switches);
+  ByteReader r{p.proc_state};
+  proc_->load_state(r);
+}
+
+bool Device::run_steps(DeviceProgress& p, const std::vector<int>& loads,
+                       int k_end, FleetAggregate* agg,
+                       OutcomeRecorder* recorder, bool buffer_samples) {
+  DeviceResult& r = p.result;
+  const Time slice = Time::ps(r.slice_ps);
+  const int steps = total_steps(loads);
+  const int n_loads = static_cast<int>(loads.size());
+  if (k_end > steps) k_end = steps;
 
   // Digest chain for outcome recording: `pre` is the processor state the
   // coming slice starts from. The mode decided below is part of the key,
@@ -68,9 +120,19 @@ DeviceResult Device::run(FleetAggregate* agg, const std::vector<int>& loads,
   // *post* digest, which seeds the next link.
   std::uint64_t pre = recorder != nullptr ? proc_->state_digest() : 0;
 
-  int buffered = 0;
-  for (std::size_t k = 0; k <= loads.size(); ++k) {
-    const int arriving = k < loads.size() ? loads[k] : 0;
+  int buffered = p.buffered;
+  int k = p.next_k;
+  for (; k < k_end && !p.done; ++k) {
+    const int arriving = k < n_loads ? loads[k] : 0;
+
+    if (fleet_.charging.period > 0 && fleet_.charging.window > 0) {
+      // Global charging window, applied before the policy observes the SoC
+      // (a device wakes into a charged state, it doesn't observe-then-charge).
+      const int g = spec_.join_slice + k;
+      if (g % fleet_.charging.period < fleet_.charging.window) {
+        battery_.recharge(fleet_.charging.energy_per_slice);
+      }
+    }
 
     DeviceMode mode = DeviceMode::kDynamic;
     if (fleet_.adapt) {
@@ -110,6 +172,9 @@ DeviceResult Device::run(FleetAggregate* agg, const std::vector<int>& loads,
     if (mode == DeviceMode::kLowPower) ++r.low_power_slices;
     if (agg != nullptr) {
       agg->add_slice(s.busy_time / slice, s.busy_time.as_us(), s.energy.as_mj());
+    } else if (buffer_samples) {
+      p.sample_busy_ps.push_back(s.busy_time.as_ps());
+      p.sample_energy_pj.push_back(requested.as_pj());
     }
 
     if (drained < requested) {
@@ -118,19 +183,28 @@ DeviceResult Device::run(FleetAggregate* agg, const std::vector<int>& loads,
       // after it runs. Arrivals still in flight are dropped.
       r.exhausted_at_slice = s.slice;
       std::uint64_t dropped = static_cast<std::uint64_t>(arriving);
-      for (std::size_t j = k + 1; j < loads.size(); ++j) {
+      for (int j = k + 1; j < n_loads; ++j) {
         dropped += static_cast<std::uint64_t>(loads[j]);
       }
       r.tasks_dropped = dropped;
-      break;
+      p.done = true;
     }
     buffered = arriving;
   }
 
+  p.next_k = k;
+  p.buffered = buffered;
+  if (!p.done && p.next_k >= steps) {
+    p.done = true;
+    if (!has_drain()) {
+      // Early leaver: its final buffer never gets a drain slice — those
+      // arrivals are dropped exactly like exhaustion drops in-flight work.
+      r.tasks_dropped += static_cast<std::uint64_t>(buffered);
+    }
+  }
   r.mode_switches = policy_.switches();
   r.final_soc = battery_.soc();
-  if (agg != nullptr) agg->add_device(r);
-  return r;
+  return p.done;
 }
 
 }  // namespace hhpim::fleet

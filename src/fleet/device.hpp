@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "energy/battery.hpp"
@@ -72,6 +73,27 @@ struct DeviceResult {
   std::int64_t movement_time_ps = 0;   ///< sum of per-slice movement overheads
 };
 
+/// One device's resumable mid-run state — what a FleetSnapshot stores per
+/// device. Captures everything Device::run_steps needs to continue at step
+/// `next_k` and still produce byte-identical output: the partial
+/// DeviceResult, the policy/battery state, the processor checkpoint blob
+/// (Processor::save_state), and the per-slice aggregate samples buffered
+/// until the final segment (histogram insertion order is device-major and
+/// must not interleave with other devices until the whole stream is known).
+struct DeviceProgress {
+  DeviceResult result;
+  int next_k = 0;           ///< next local step (slice) to execute
+  bool started = false;     ///< start_progress() ran; result header is valid
+  bool done = false;        ///< stream complete (drained, left, or exhausted)
+  std::uint8_t mode = 0;    ///< AdaptivePolicy mode (DeviceMode)
+  std::uint32_t switches = 0;
+  int buffered = 0;         ///< arrivals awaiting execution in the next slice
+  double charge_pj = 0.0;   ///< exact battery charge bits
+  std::vector<std::int64_t> sample_busy_ps;  ///< per executed slice
+  std::vector<double> sample_energy_pj;      ///< requested (pre-clamp) energy
+  std::string proc_state;   ///< Processor::save_state blob (live devices only)
+};
+
 class Device {
  public:
   /// `model` must be fleet.resolved_models()[spec.model_index] (the caller
@@ -89,14 +111,15 @@ class Device {
   Device(const FleetSpec& fleet, const DeviceSpec& spec, const nn::Model& model,
          sys::Processor& proc);
 
-  /// Executes the device's whole stream. Per-slice samples are accumulated
+  /// Executes the device's whole stream (loads materialized from the spec
+  /// with the fleet's envelope applied). Per-slice samples are accumulated
   /// into `agg` (may be null). Call once.
   DeviceResult run(FleetAggregate* agg);
 
   /// Same, with the load trace precomputed by the caller (`loads` must
-  /// equal device_loads(spec)) and optional outcome recording: when
-  /// `recorder` is non-null, every executed slice appends one
-  /// (SliceOutcomeKey, SliceOutcome) pair chained through
+  /// equal device_loads(spec) with the fleet envelope applied) and optional
+  /// outcome recording: when `recorder` is non-null, every executed slice
+  /// appends one (SliceOutcomeKey, SliceOutcome) pair chained through
   /// Processor::state_digest() — the exact-path side of the fleet's
   /// device-level memo (recorder->reuse_key must be the processor's
   /// sys::processor_reuse_key). Recording changes wall-clock only, never
@@ -104,10 +127,51 @@ class Device {
   DeviceResult run(FleetAggregate* agg, const std::vector<int>& loads,
                    OutcomeRecorder* recorder);
 
-  /// The SystemConfig a device of `fleet` runs under: the fleet's shared
-  /// config with the simulator-resolved LUT cache plugged in. What both
+  // --- segmented execution (fleet checkpoint/restore) ----------------------
+  // A whole run is: start_progress once, then run_steps in one or more
+  // [next_k, k_end) windows — capture_progress / restore_progress (plus a
+  // fresh Device on a reset processor) between windows — until run_steps
+  // returns true. The step sequence executed this way is instruction-for-
+  // instruction the one run() executes, so output stays byte-identical.
+
+  /// True when the device stays to the horizon and runs the trailing drain
+  /// slice; a device leaving early drops its final buffer instead.
+  [[nodiscard]] bool has_drain() const;
+
+  /// Steps of this device's whole stream: loads.size() + 1 drain slice for
+  /// horizon devices, loads.size() for early leavers.
+  [[nodiscard]] int total_steps(const std::vector<int>& loads) const;
+
+  /// Fills p.result's identity/header fields and p's initial lane state
+  /// from this (fresh) device. Call exactly once per device stream.
+  void start_progress(DeviceProgress& p, const std::vector<int>& loads) const;
+
+  /// Resumes a prior capture_progress onto this device, whose processor
+  /// must be fresh/reset() and built from the same reuse key.
+  void restore_progress(const DeviceProgress& p);
+
+  /// Captures policy/battery/processor state so a later restore_progress
+  /// continues the stream exactly. Only valid between run_steps windows.
+  void capture_progress(DeviceProgress& p) const;
+
+  /// Executes local steps [p.next_k, min(k_end, total_steps)) and updates
+  /// p. Returns true when the stream completed (drained, left early, or
+  /// exhausted). With `agg` non-null, samples post directly; with
+  /// `buffer_samples`, they append to p's sample vectors instead (segmented
+  /// runs — replayed into the aggregate by the final segment).
+  bool run_steps(DeviceProgress& p, const std::vector<int>& loads, int k_end,
+                 FleetAggregate* agg, OutcomeRecorder* recorder,
+                 bool buffer_samples = false);
+
+  /// The SystemConfig a device of `fleet` runs under: the device's firmware
+  /// entry with the simulator-resolved LUT cache plugged in. What both
   /// constructors build from — exposed so FleetSimulator's processor pool
   /// constructs identical processors.
+  [[nodiscard]] static sys::SystemConfig device_config(
+      const FleetSpec& fleet, const DeviceSpec& spec,
+      placement::LutCache* lut_cache);
+
+  /// Single-firmware convenience (firmware entry 0 == FleetSpec::config).
   [[nodiscard]] static sys::SystemConfig device_config(
       const FleetSpec& fleet, placement::LutCache* lut_cache);
 

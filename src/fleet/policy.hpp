@@ -52,6 +52,13 @@ class AdaptivePolicy {
   /// Number of mode transitions so far (either direction).
   [[nodiscard]] std::uint32_t switches() const { return switches_; }
 
+  /// Checkpoint restore: resumes the controller mid-run with the mode and
+  /// transition count captured by a prior mode()/switches() read.
+  void restore(DeviceMode mode, std::uint32_t switches) {
+    mode_ = mode;
+    switches_ = switches;
+  }
+
  private:
   AdaptiveThresholds thresholds_;
   DeviceMode mode_ = DeviceMode::kDynamic;

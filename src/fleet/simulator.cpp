@@ -161,6 +161,11 @@ std::string shard_path(const std::string& dir, std::size_t shard) {
 FleetResult FleetSimulator::run(const FleetSpec& spec) const {
   const std::vector<DeviceSpec> device_specs = spec.expand();
   const std::vector<nn::Model> models = spec.resolved_models();
+  const std::vector<sys::SystemConfig> firmwares = spec.resolved_firmware();
+  const std::size_t n_models = models.size();
+  // The global load envelope, resolved once and shared read-only by every
+  // worker (empty = no envelope).
+  const std::vector<double> env = spec.envelope_multipliers();
   placement::LutCache* const cache = resolve_lut_cache();
   const placement::LutCache::Stats stats_before =
       cache != nullptr ? cache->stats() : placement::LutCache::Stats{};
@@ -194,29 +199,40 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
   std::mutex error_mutex;
   std::atomic<std::size_t> next{0};
 
-  // Checkout pool of reusable processors, one freelist per model, shared by
-  // all workers (reuse_processors): the fleet config is shared, so
-  // (config, model_index) fully determines a device's processor. Sharing
-  // the pool bounds constructions by the peak per-model overlap — a
-  // per-worker pool would construct workers × models processors, which is
-  // exactly what made 8 oversubscribed workers slower than 1 on a single
-  // core. Checkout/return are pointer pops under a per-model mutex, held
-  // for nanoseconds against device runs of tens of microseconds; each
-  // freelist sits on its own cache line.
+  // Checkout pool of reusable processors, one freelist per (firmware,
+  // model) pair — flattened as firmware * n_models + model — shared by all
+  // workers (reuse_processors): the pair fully determines a device's
+  // processor. Sharing the pool bounds constructions by the peak per-pair
+  // overlap — a per-worker pool would construct workers × pairs
+  // processors, which is exactly what made 8 oversubscribed workers slower
+  // than 1 on a single core. Checkout/return are pointer pops under a
+  // per-pair mutex, held for nanoseconds against device runs of tens of
+  // microseconds; each freelist sits on its own cache line.
   struct alignas(kCacheLine) ModelPool {
     std::mutex mu;
     std::vector<std::unique_ptr<sys::Processor>> idle;
   };
   const bool reuse = options_.reuse_processors;
-  std::vector<ModelPool> model_pools(reuse ? models.size() : 0);
-  const sys::SystemConfig device_cfg = reuse || memo != nullptr
-                                           ? Device::device_config(spec, cache)
-                                           : sys::SystemConfig{};
+  const std::size_t n_pairs = firmwares.size() * n_models;
+  std::vector<ModelPool> model_pools(reuse ? n_pairs : 0);
+  std::vector<sys::SystemConfig> fw_cfgs;
+  if (reuse || memo != nullptr) {
+    fw_cfgs.reserve(firmwares.size());
+    for (const sys::SystemConfig& fw : firmwares) {
+      sys::SystemConfig c = fw;
+      c.lut_cache = cache;
+      fw_cfgs.push_back(c);
+    }
+  }
+  const auto pair_of = [n_models](const DeviceSpec& ds) {
+    return ds.firmware_index * n_models + ds.model_index;
+  };
 
-  // Returns a processor for `m` in just-constructed state (pooled ones are
-  // reset() outside the lock; construction also happens outside the lock).
-  auto checkout = [&](std::size_t m) {
-    ModelPool& mp = model_pools[m];
+  // Returns a processor for pair `p` in just-constructed state (pooled ones
+  // are reset() outside the lock; construction also happens outside the
+  // lock).
+  auto checkout = [&](std::size_t pair) {
+    ModelPool& mp = model_pools[pair];
     std::unique_ptr<sys::Processor> p;
     {
       const std::lock_guard<std::mutex> lock{mp.mu};
@@ -229,17 +245,18 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
       p->reset();
       return p;
     }
-    return std::make_unique<sys::Processor>(device_cfg, models[m]);
+    return std::make_unique<sys::Processor>(fw_cfgs[pair / n_models],
+                                            models[pair % n_models]);
   };
-  auto give_back = [&](std::size_t m, std::unique_ptr<sys::Processor> p) {
-    ModelPool& mp = model_pools[m];
+  auto give_back = [&](std::size_t pair, std::unique_ptr<sys::Processor> p) {
+    ModelPool& mp = model_pools[pair];
     const std::lock_guard<std::mutex> lock{mp.mu};
     mp.idle.push_back(std::move(p));
   };
 
-  // Per-model constants of the memo path, computed once up front. Only
-  // models some device actually uses get a processor built here — building
-  // an unused model's LUT would bump lut_builds and break the memo-on /
+  // Per-pair constants of the memo path, computed once up front. Only
+  // pairs some device actually uses get a processor built here — building
+  // an unused pair's LUT would bump lut_builds and break the memo-on /
   // memo-off byte-identity of the summary. Pool processors are checked out
   // and returned, so nothing extra is constructed under reuse.
   struct ModelMemoInfo {
@@ -248,21 +265,22 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
     Time slice = Time::zero();
     std::int64_t slice_ps = 0;
   };
-  std::vector<ModelMemoInfo> model_info(memo != nullptr ? models.size() : 0);
+  std::vector<ModelMemoInfo> model_info(memo != nullptr ? n_pairs : 0);
   if (memo != nullptr && n > 0) {
-    std::vector<char> used(models.size(), 0);
-    for (const DeviceSpec& ds : device_specs) used[ds.model_index] = 1;
-    for (std::size_t m = 0; m < models.size(); ++m) {
-      if (used[m] == 0) continue;
-      ModelMemoInfo& info = model_info[m];
-      info.reuse_key = sys::processor_reuse_key(device_cfg, models[m]);
+    std::vector<char> used(n_pairs, 0);
+    for (const DeviceSpec& ds : device_specs) used[pair_of(ds)] = 1;
+    for (std::size_t pair = 0; pair < n_pairs; ++pair) {
+      if (used[pair] == 0) continue;
+      ModelMemoInfo& info = model_info[pair];
+      info.reuse_key = sys::processor_reuse_key(fw_cfgs[pair / n_models],
+                                                models[pair % n_models]);
       if (reuse) {
-        std::unique_ptr<sys::Processor> p = checkout(m);
+        std::unique_ptr<sys::Processor> p = checkout(pair);
         info.init_state = p->state_digest();
         info.slice = p->slice_length();
-        give_back(m, std::move(p));
+        give_back(pair, std::move(p));
       } else {
-        const sys::Processor p{device_cfg, models[m]};
+        const sys::Processor p{fw_cfgs[pair / n_models], models[pair % n_models]};
         info.init_state = p.state_digest();
         info.slice = p.slice_length();
       }
@@ -279,6 +297,8 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
       memo != nullptr ? energy::Battery{spec.battery}.charge().as_pj() : 0.0;
   const auto k_dynamic = static_cast<std::uint8_t>(DeviceMode::kDynamic);
   const auto k_low_power = static_cast<std::uint8_t>(DeviceMode::kLowPower);
+  const bool charging_on = spec.charging.period > 0 && spec.charging.window > 0;
+  const double charge_step_pj = spec.charging.energy_per_slice.as_pj();
 
   // SoA hot state of one shard's replay lanes, owned per worker and reused
   // across its shards (assign() keeps capacity): a memo-hit device advances
@@ -289,6 +309,10 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
   // floating-point bit).
   struct ReplayScratch {
     std::vector<std::vector<int>> loads;   ///< per-device trace, buffers reused
+    std::vector<int> exact_loads;          ///< non-memo path trace buffer
+    std::vector<std::int32_t> steps;       ///< per-device stream length
+    std::vector<std::int32_t> join;        ///< global slice of local step 0
+    std::vector<std::uint8_t> drain;       ///< runs the trailing drain slice?
     std::vector<std::uint8_t> replay;      ///< lane still on the memo path?
     std::vector<double> charge_pj;         ///< Battery::charge mirror
     std::vector<std::uint8_t> mode;        ///< DeviceMode
@@ -324,8 +348,9 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
     if (stream && !options_.keep_results) local.reserve(end - begin);
 
     // The shard's current lease: held across consecutive devices of the
-    // same model, returned on a model switch or at shard end. A device
-    // that throws abandons the lease (the processor may be mid-run).
+    // same (firmware, model) pair, returned on a pair switch or at shard
+    // end. A device that throws abandons the lease (the processor may be
+    // mid-run).
     std::unique_ptr<sys::Processor> held;
     std::size_t held_model = 0;
 
@@ -342,6 +367,9 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
       const auto total_slices = static_cast<std::size_t>(spec.slices) + 1;
 
       if (scratch.loads.size() < count) scratch.loads.resize(count);
+      scratch.steps.resize(count);
+      scratch.join.resize(count);
+      scratch.drain.resize(count);
       scratch.replay.assign(count, 1);
       scratch.charge_pj.assign(count, initial_charge_pj);
       scratch.mode.assign(count, k_dynamic);
@@ -359,8 +387,16 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
       scratch.sample_energy_pj.resize(count * total_slices);
       for (std::size_t i = 0; i < count; ++i) {
         const DeviceSpec& ds = device_specs[begin + i];
-        device_loads_into(ds, scratch.loads[i]);
-        scratch.state[i] = model_info[ds.model_index].init_state;
+        device_loads_into(ds, env, scratch.loads[i]);
+        scratch.state[i] = model_info[pair_of(ds)].init_state;
+        // Lifecycle window (mirrors Device::has_drain/total_steps): a
+        // horizon device runs its arrivals plus the drain slice; an early
+        // leaver runs arrivals only and drops its final buffer.
+        const bool has_drain = ds.leave_slice < 0 || ds.leave_slice >= spec.slices;
+        scratch.drain[i] = has_drain ? 1 : 0;
+        scratch.join[i] = ds.join_slice;
+        scratch.steps[i] =
+            static_cast<std::int32_t>(scratch.loads[i].size()) + (has_drain ? 1 : 0);
       }
 
       // Phase 1 — slice-major lane advance. Each lane mirrors exactly what
@@ -372,7 +408,19 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
       for (std::size_t k = 0; k < total_slices; ++k) {
         for (std::size_t i = 0; i < count; ++i) {
           if (scratch.replay[i] == 0) continue;
+          if (static_cast<std::int32_t>(k) >= scratch.steps[i]) continue;
           const DeviceSpec& ds = device_specs[begin + i];
+          if (charging_on) {
+            // Mirrors Battery::recharge on raw pJ doubles, before the
+            // policy observes the SoC (same order as Device::run_steps).
+            const int g = scratch.join[i] + static_cast<int>(k);
+            if (g % spec.charging.period < spec.charging.window) {
+              scratch.charge_pj[i] += charge_step_pj;
+              if (scratch.charge_pj[i] > capacity_pj) {
+                scratch.charge_pj[i] = capacity_pj;
+              }
+            }
+          }
           if (spec.adapt) {
             const double soc = scratch.charge_pj[i] / capacity_pj;
             if (scratch.mode[i] == k_dynamic && soc <= spec.thresholds.low_soc) {
@@ -385,7 +433,7 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
             }
           }
           const SliceOutcome* out = memo->lookup(
-              SliceOutcomeKey{model_info[ds.model_index].reuse_key,
+              SliceOutcomeKey{model_info[pair_of(ds)].reuse_key,
                               scratch.state[i],
                               static_cast<std::uint32_t>(scratch.buffered[i]),
                               scratch.mode[i]});
@@ -412,7 +460,7 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
           scratch.sample_energy_pj[i * total_slices + k] = out->energy_pj;
           scratch.state[i] = out->post_state;
           scratch.buffered[i] =
-              k + 1 < total_slices ? scratch.loads[i][k] : 0;
+              k < scratch.loads[i].size() ? scratch.loads[i][k] : 0;
         }
       }
 
@@ -428,16 +476,21 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
         const DeviceSpec& ds = device_specs[begin + i];
         DeviceResult r;
         if (scratch.replay[i] != 0) {
-          const ModelMemoInfo& info = model_info[ds.model_index];
+          const ModelMemoInfo& info = model_info[pair_of(ds)];
+          const auto dev_steps = static_cast<std::size_t>(scratch.steps[i]);
           r.id = ds.id;
           r.model_index = static_cast<std::uint32_t>(ds.model_index);
           r.scenario = ds.scenario;
           r.seed = ds.seed;
           r.slice_ps = info.slice_ps;
-          r.slices_total = static_cast<int>(total_slices);
-          r.slices_executed = static_cast<int>(total_slices);
+          r.slices_total = scratch.steps[i];
+          r.slices_executed = scratch.steps[i];
           r.tasks = scratch.tasks[i];
-          r.tasks_dropped = 0;  // replayed devices never exhaust
+          // Replayed devices never exhaust; an early leaver still drops its
+          // final buffer (no drain slice runs it).
+          r.tasks_dropped = scratch.drain[i] != 0
+                                ? 0
+                                : static_cast<std::uint64_t>(scratch.buffered[i]);
           r.deadline_violations = scratch.deadline_violations[i];
           r.energy_pj = scratch.energy_pj[i];
           r.battery_capacity_pj = capacity_pj;
@@ -448,7 +501,7 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
           r.busy_time_ps = scratch.busy_ps[i];
           r.max_busy_ps = scratch.max_busy_ps[i];
           r.movement_time_ps = scratch.movement_ps[i];
-          for (std::size_t k = 0; k < total_slices; ++k) {
+          for (std::size_t k = 0; k < dev_steps; ++k) {
             const Time busy = Time::ps(scratch.sample_busy_ps[i * total_slices + k]);
             agg.add_slice(
                 busy / info.slice, busy.as_us(),
@@ -457,16 +510,17 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
           agg.add_device(r);
           ++shard_replayed;
         } else {
-          scratch.recorder.reuse_key = model_info[ds.model_index].reuse_key;
+          const std::size_t pair = pair_of(ds);
+          scratch.recorder.reuse_key = model_info[pair].reuse_key;
           scratch.recorder.recorded.clear();
           if (reuse) {
             if (held == nullptr) {
-              held = checkout(ds.model_index);
-              held_model = ds.model_index;
-            } else if (held_model != ds.model_index) {
+              held = checkout(pair);
+              held_model = pair;
+            } else if (held_model != pair) {
               give_back(held_model, std::move(held));
-              held = checkout(ds.model_index);
-              held_model = ds.model_index;
+              held = checkout(pair);
+              held_model = pair;
             } else {
               held->reset();
             }
@@ -489,23 +543,25 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
     } else {
       for (std::size_t i = begin; i < end; ++i) {
         const DeviceSpec& ds = device_specs[i];
+        device_loads_into(ds, env, scratch.exact_loads);
         DeviceResult r;
         if (reuse) {
+          const std::size_t pair = pair_of(ds);
           if (held == nullptr) {
-            held = checkout(ds.model_index);
-            held_model = ds.model_index;
-          } else if (held_model != ds.model_index) {
+            held = checkout(pair);
+            held_model = pair;
+          } else if (held_model != pair) {
             give_back(held_model, std::move(held));
-            held = checkout(ds.model_index);
-            held_model = ds.model_index;
+            held = checkout(pair);
+            held_model = pair;
           } else {
             held->reset();
           }
           Device dev{spec, ds, models[ds.model_index], *held};
-          r = dev.run(&agg);
+          r = dev.run(&agg, scratch.exact_loads, nullptr);
         } else {
           Device dev{spec, ds, models[ds.model_index], cache};
-          r = dev.run(&agg);
+          r = dev.run(&agg, scratch.exact_loads, nullptr);
         }
         emit(i, std::move(r));
       }
@@ -583,10 +639,17 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
     // so the shared count is derived instead — keeping the summary JSON
     // byte-identical at any thread count.
     result.lut_builds = after.misses - stats_before.misses;
-    const auto devices = static_cast<std::uint64_t>(n);
-    result.lut_shared = spec.config.arch.kind == sys::ArchKind::kHhpim &&
-                                devices >= result.lut_builds
-                            ? devices - result.lut_builds
+    // Only HH-PIM devices resolve through the LUT cache; static archs in a
+    // mixed-firmware fleet never share a build. (Single-firmware fleets
+    // reduce to the old all-or-nothing formula.)
+    std::uint64_t hhpim_devices = 0;
+    for (const DeviceSpec& ds : device_specs) {
+      if (firmwares[ds.firmware_index].arch.kind == sys::ArchKind::kHhpim) {
+        ++hhpim_devices;
+      }
+    }
+    result.lut_shared = hhpim_devices >= result.lut_builds
+                            ? hhpim_devices - result.lut_builds
                             : 0;
   }
   if (memo != nullptr) {
@@ -597,6 +660,352 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
     result.memo_misses = memo_after.misses - memo_before.misses;
   }
   return result;
+}
+
+namespace {
+
+/// The LUT-cache key a Processor built from (cfg, model) resolves through —
+/// mirrors the kHhpim branch of the Processor constructor, without
+/// constructing one. Only meaningful for an HH-PIM arch.
+placement::LutCacheKey device_lut_key(const sys::SystemConfig& cfg,
+                                      const nn::Model& model) {
+  const placement::CostModel cost = placement::CostModel::build(
+      sys::resolved_power_spec(cfg), cfg.arch.hp_shape(), cfg.arch.lp_shape(),
+      model.uses_per_weight());
+  placement::LutParams lp;
+  lp.slice = sys::derived_slice_length(cfg, model);
+  lp.total_weights = model.effective_params();
+  lp.t_entries = cfg.lut_t_entries;
+  lp.k_blocks = cfg.lut_k_blocks;
+  return placement::LutCacheKey::make(model.topology_hash(),
+                                      cfg.arch.config_hash(), cost, lp);
+}
+
+}  // namespace
+
+FleetSnapshot FleetSimulator::run_to(const FleetSpec& spec, int end_slice,
+                                     const FleetSnapshot* from) const {
+  const int start = from != nullptr ? from->next_slice : 0;
+  if (end_slice <= start || end_slice > spec.slices) {
+    throw std::invalid_argument(
+        "FleetSimulator::run_to: end_slice must lie in (" +
+        std::to_string(start) + ", " + std::to_string(spec.slices) + "]");
+  }
+  return run_segment(spec, end_slice, from, nullptr);
+}
+
+FleetResult FleetSimulator::resume(const FleetSpec& spec,
+                                   const FleetSnapshot& from) const {
+  FleetResult result;
+  (void)run_segment(spec, spec.slices, &from, &result);
+  return result;
+}
+
+FleetSnapshot FleetSimulator::run_segment(const FleetSpec& spec, int end_slice,
+                                          const FleetSnapshot* from,
+                                          FleetResult* final_out) const {
+  const bool final_segment = final_out != nullptr;
+  const std::vector<DeviceSpec> device_specs = spec.expand();
+  const std::vector<nn::Model> models = spec.resolved_models();
+  const std::vector<sys::SystemConfig> firmwares = spec.resolved_firmware();
+  const std::size_t n_models = models.size();
+  const std::vector<double> env = spec.envelope_multipliers();
+  placement::LutCache* const cache = resolve_lut_cache();
+  const std::uint64_t digest = spec.content_digest();
+  const std::size_t n = device_specs.size();
+
+  if (from != nullptr) {
+    if (from->spec_digest != digest) {
+      throw std::runtime_error(
+          "snapshot: spec mismatch — the snapshot's content digest differs "
+          "from this FleetSpec's (models, firmware, workload, lifecycle, "
+          "battery, envelope or seed changed between segments)");
+    }
+    if (from->devices.size() != n) {
+      throw std::runtime_error("snapshot: device count mismatch");
+    }
+    if (from->next_slice > spec.slices) {
+      throw std::runtime_error("snapshot: next_slice beyond the fleet horizon");
+    }
+  }
+
+  FleetSnapshot snap;
+  snap.spec_digest = digest;
+  snap.next_slice = final_segment ? spec.slices : end_slice;
+  if (from != nullptr) {
+    snap.lut_builds = from->lut_builds;
+    snap.lut_counted = from->lut_counted;
+    snap.devices = from->devices;
+  } else {
+    snap.devices.resize(n);
+  }
+
+  // Active = will construct a processor and execute steps this segment:
+  // not yet finished, and (for a bounded segment) already joined.
+  const auto active = [&](std::size_t i) {
+    const DeviceProgress& p = snap.devices[i];
+    if (p.done) return false;
+    return final_segment || device_specs[i].join_slice < end_slice;
+  };
+
+  // LUT-build accounting, single-threaded before the pool spins up: a
+  // newly-accounted key absent from the cache counts as one build (the
+  // segment's workers will build it); rebuilds of an already-accounted key
+  // — a later segment in a fresh process with a cold cache — are never
+  // re-counted. The final summary's lut_builds therefore equals the delta
+  // one uninterrupted run() would have measured.
+  if (cache != nullptr) {
+    std::vector<char> pair_probed(firmwares.size() * n_models, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active(i)) continue;
+      const DeviceSpec& ds = device_specs[i];
+      const sys::SystemConfig& fw = firmwares[ds.firmware_index];
+      if (fw.arch.kind != sys::ArchKind::kHhpim) continue;
+      const std::size_t pair = ds.firmware_index * n_models + ds.model_index;
+      if (pair_probed[pair] != 0) continue;
+      pair_probed[pair] = 1;
+      const placement::LutCacheKey key =
+          device_lut_key(fw, models[ds.model_index]);
+      if (std::find(snap.lut_counted.begin(), snap.lut_counted.end(), key) !=
+          snap.lut_counted.end()) {
+        continue;
+      }
+      if (!cache->contains(key)) ++snap.lut_builds;
+      snap.lut_counted.push_back(key);
+    }
+  }
+
+  const std::size_t shard_size = options_.shard_size;
+  const std::size_t shards = n == 0 ? 0 : (n + shard_size - 1) / shard_size;
+
+  if (final_segment) {
+    *final_out = FleetResult{.fleet_name = spec.name,
+                             .devices = {},
+                             .model_names = {},
+                             .aggregate = FleetAggregate{spec.histograms},
+                             .shard_count = shards,
+                             .shard_size = shard_size};
+    final_out->model_names.reserve(models.size());
+    for (const nn::Model& m : models) final_out->model_names.push_back(m.name());
+    if (options_.keep_results) final_out->devices.resize(n);
+  }
+
+  struct alignas(kCacheLine) ShardSlot {
+    FleetAggregate agg;
+  };
+  std::vector<ShardSlot> shard_aggs(final_segment ? shards : 0,
+                                    ShardSlot{FleetAggregate{spec.histograms}});
+
+  // Processor checkout pool, identical in shape to run()'s.
+  struct alignas(kCacheLine) ModelPool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<sys::Processor>> idle;
+  };
+  const bool reuse = options_.reuse_processors;
+  const std::size_t n_pairs = firmwares.size() * n_models;
+  std::vector<ModelPool> model_pools(reuse ? n_pairs : 0);
+  std::vector<sys::SystemConfig> fw_cfgs;
+  fw_cfgs.reserve(firmwares.size());
+  for (const sys::SystemConfig& fw : firmwares) {
+    sys::SystemConfig c = fw;
+    c.lut_cache = cache;
+    fw_cfgs.push_back(c);
+  }
+  auto checkout = [&](std::size_t pair) {
+    ModelPool& mp = model_pools[pair];
+    std::unique_ptr<sys::Processor> p;
+    {
+      const std::lock_guard<std::mutex> lock{mp.mu};
+      if (!mp.idle.empty()) {
+        p = std::move(mp.idle.back());
+        mp.idle.pop_back();
+      }
+    }
+    if (p != nullptr) {
+      p->reset();
+      return p;
+    }
+    return std::make_unique<sys::Processor>(fw_cfgs[pair / n_models],
+                                            models[pair % n_models]);
+  };
+  auto give_back = [&](std::size_t pair, std::unique_ptr<sys::Processor> p) {
+    ModelPool& mp = model_pools[pair];
+    const std::lock_guard<std::mutex> lock{mp.mu};
+    mp.idle.push_back(std::move(p));
+  };
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<std::size_t> next{0};
+
+  auto run_shard = [&](std::size_t s, std::vector<int>& loads_buf) {
+    const std::size_t begin = s * shard_size;
+    const std::size_t end = std::min(n, begin + shard_size);
+    FleetAggregate agg{spec.histograms};
+    std::vector<DeviceResult> local;
+    const bool stream = final_segment && !options_.shard_dir.empty();
+    if (stream && !options_.keep_results) local.reserve(end - begin);
+
+    std::unique_ptr<sys::Processor> held;
+    std::size_t held_pair = 0;
+
+    auto emit = [&](std::size_t i, DeviceResult&& r) {
+      if (options_.keep_results) {
+        final_out->devices[i] = std::move(r);
+      } else if (stream) {
+        local.push_back(std::move(r));
+      }
+    };
+
+    // Replays the sample slices buffered by earlier segments, then (final
+    // segment) runs the rest live — per device, all add_slice calls in
+    // slice order followed by one add_device: the exact device-major
+    // order the uninterrupted run feeds the aggregate.
+    auto advance = [&](Device& dev, DeviceProgress& p, const DeviceSpec& ds) {
+      if (!p.started) {
+        dev.start_progress(p, loads_buf);
+      } else {
+        dev.restore_progress(p);
+      }
+      if (final_segment) {
+        const Time slice = Time::ps(p.result.slice_ps);
+        for (std::size_t k = 0; k < p.sample_busy_ps.size(); ++k) {
+          const Time busy = Time::ps(p.sample_busy_ps[k]);
+          agg.add_slice(busy / slice, busy.as_us(),
+                        Energy::pj(p.sample_energy_pj[k]).as_mj());
+        }
+        (void)dev.run_steps(p, loads_buf, dev.total_steps(loads_buf), &agg,
+                            nullptr);
+        agg.add_device(p.result);
+      } else {
+        const int k_end = end_slice - ds.join_slice;
+        const bool done =
+            dev.run_steps(p, loads_buf, k_end, nullptr, nullptr,
+                          /*buffer_samples=*/true);
+        if (done) {
+          p.proc_state.clear();  // finished devices carry no processor blob
+        } else {
+          dev.capture_progress(p);
+        }
+      }
+    };
+
+    for (std::size_t i = begin; i < end; ++i) {
+      DeviceProgress& p = snap.devices[i];
+      const DeviceSpec& ds = device_specs[i];
+      if (p.done) {
+        if (final_segment) {
+          // Finished in an earlier segment: replay its buffered samples at
+          // its ordinal position and emit its stored result.
+          const Time slice = Time::ps(p.result.slice_ps);
+          for (std::size_t k = 0; k < p.sample_busy_ps.size(); ++k) {
+            const Time busy = Time::ps(p.sample_busy_ps[k]);
+            agg.add_slice(busy / slice, busy.as_us(),
+                          Energy::pj(p.sample_energy_pj[k]).as_mj());
+          }
+          agg.add_device(p.result);
+          emit(i, std::move(p.result));
+        }
+        continue;
+      }
+      if (!final_segment && ds.join_slice >= end_slice) continue;
+
+      device_loads_into(ds, env, loads_buf);
+      if (reuse) {
+        const std::size_t pair =
+            ds.firmware_index * n_models + ds.model_index;
+        if (held == nullptr) {
+          held = checkout(pair);
+          held_pair = pair;
+        } else if (held_pair != pair) {
+          give_back(held_pair, std::move(held));
+          held = checkout(pair);
+          held_pair = pair;
+        } else {
+          held->reset();
+        }
+        Device dev{spec, ds, models[ds.model_index], *held};
+        advance(dev, p, ds);
+      } else {
+        Device dev{spec, ds, models[ds.model_index], cache};
+        advance(dev, p, ds);
+      }
+      if (final_segment) emit(i, std::move(p.result));
+    }
+    if (held != nullptr) give_back(held_pair, std::move(held));
+
+    if (stream) {
+      std::ostringstream buf;
+      if (options_.keep_results) {
+        for (std::size_t i = begin; i < end; ++i) {
+          write_device_line(buf, final_out->devices[i], final_out->model_names);
+        }
+      } else {
+        for (const DeviceResult& r : local) {
+          write_device_line(buf, r, final_out->model_names);
+        }
+      }
+      const std::string path = shard_path(options_.shard_dir, s);
+      std::ofstream out(path, std::ios::binary);
+      if (!out) throw std::runtime_error("fleet: cannot open " + path);
+      const std::string& bytes = buf.str();
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      if (!out) throw std::runtime_error("fleet: write failed for " + path);
+    }
+    if (final_segment) shard_aggs[s].agg = std::move(agg);
+  };
+
+  const unsigned workers = resolve_workers(options_.threads, shards);
+  const std::size_t batch =
+      resolve_claim_batch(options_.claim_batch, shards, workers);
+
+  auto worker = [&] {
+    std::vector<int> loads_buf;  // per-worker trace buffer, reused
+    for (;;) {
+      const std::size_t base = next.fetch_add(batch, std::memory_order_relaxed);
+      if (base >= shards) return;
+      const std::size_t limit = std::min(shards, base + batch);
+      for (std::size_t s = base; s < limit; ++s) {
+        try {
+          run_shard(s, loads_buf);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  if (final_segment) {
+    for (const ShardSlot& slot : shard_aggs) {
+      final_out->aggregate.merge(slot.agg);
+    }
+    if (cache != nullptr) {
+      final_out->lut_builds = snap.lut_builds;
+      std::uint64_t hhpim_devices = 0;
+      for (const DeviceSpec& ds : device_specs) {
+        if (firmwares[ds.firmware_index].arch.kind == sys::ArchKind::kHhpim) {
+          ++hhpim_devices;
+        }
+      }
+      final_out->lut_shared = hhpim_devices >= snap.lut_builds
+                                  ? hhpim_devices - snap.lut_builds
+                                  : 0;
+    }
+    // memo_* stats stay 0: segments run the exact path (to which the memo
+    // path is byte-identical), so nothing is looked up or recorded.
+  }
+  return snap;
 }
 
 }  // namespace hhpim::fleet

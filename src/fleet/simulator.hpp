@@ -42,6 +42,7 @@
 
 #include "fleet/aggregate.hpp"
 #include "fleet/device.hpp"
+#include "fleet/snapshot.hpp"
 #include "fleet/spec.hpp"
 
 namespace hhpim::placement {
@@ -157,6 +158,27 @@ class FleetSimulator {
   /// exception (other shards still complete).
   [[nodiscard]] FleetResult run(const FleetSpec& spec) const;
 
+  /// Checkpointed execution: advances the fleet through global slices
+  /// [from ? from->next_slice : 0, end_slice) and returns the fleet state
+  /// at that boundary. `end_slice` must lie in (start, spec.slices]; the
+  /// trailing drain slices belong to the final segment (resume). Segments
+  /// run the exact Device path (to which the memo path is byte-identical),
+  /// buffering per-slice aggregate samples in the snapshot; no JSONL or
+  /// aggregates are produced until resume(). The snapshot is pinned to
+  /// FleetSpec::content_digest() — run_to/resume throw std::runtime_error
+  /// on a digest mismatch, std::invalid_argument on a bad window.
+  [[nodiscard]] FleetSnapshot run_to(const FleetSpec& spec, int end_slice,
+                                     const FleetSnapshot* from = nullptr) const;
+
+  /// Final segment: resumes `from` and runs every device to completion
+  /// (remaining arrival slices plus the drain slices). The FleetResult —
+  /// devices, aggregate, JSONL shard files, summary JSON, lut_builds/
+  /// lut_shared — is byte-identical to run() on the same spec and options
+  /// at any thread count (memo_* stats are 0: segments bypass the outcome
+  /// memo, whose output the exact path equals by invariant).
+  [[nodiscard]] FleetResult resume(const FleetSpec& spec,
+                                   const FleetSnapshot& from) const;
+
   [[nodiscard]] const FleetOptions& options() const { return options_; }
   /// The cache this run will use (nullptr when sharing is off).
   [[nodiscard]] placement::LutCache* resolve_lut_cache() const;
@@ -177,6 +199,14 @@ class FleetSimulator {
                                                        unsigned workers);
 
  private:
+  /// Shared engine of run_to/resume: one segment over global slices
+  /// [from ? from->next_slice : 0, end_slice), or to completion when
+  /// `final_out` is non-null (end_slice ignored). Returns the end-of-
+  /// segment snapshot (meaningless for the final segment).
+  FleetSnapshot run_segment(const FleetSpec& spec, int end_slice,
+                            const FleetSnapshot* from,
+                            FleetResult* final_out) const;
+
   FleetOptions options_;
 };
 

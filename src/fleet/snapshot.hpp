@@ -1,0 +1,63 @@
+// Fleet checkpoint/restore: a FleetSnapshot is the whole fleet's state at a
+// global slice boundary, serialized with common/serialize ByteWriter/Reader
+// into a versioned, field-tagged, checksummed binary blob.
+//
+// Produced by FleetSimulator::run_to and consumed by run_to/resume: a
+// simulated week can run as N resumable segments — across process restarts
+// — whose concatenated output (JSONL shards, summary, FleetResult) is
+// byte-identical to one uninterrupted run at any thread count (pinned by
+// tests/test_snapshot.cpp). The format fails loudly: truncated, corrupted,
+// version-skewed or wrong-spec blobs all throw std::runtime_error with a
+// diagnostic — a snapshot is never silently misread.
+//
+// What is NOT stored: load traces (regenerated from the spec — exact),
+// LUT-cache contents (rebuilt per process; lut_builds stats stay correct
+// via the counted-pair list below), and OutcomeCache contents (segments run
+// the exact path, which the memo path is byte-identical to by invariant).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fleet/device.hpp"
+#include "placement/lut_cache.hpp"
+
+namespace hhpim::fleet {
+
+struct FleetSnapshot {
+  /// FleetSpec::content_digest() of the originating run; run_to/resume
+  /// refuse a snapshot whose digest does not match the spec they're given.
+  std::uint64_t spec_digest = 0;
+  /// First global slice the next segment executes (== the `end_slice` the
+  /// producing run_to was given).
+  int next_slice = 0;
+  /// LUT builds counted so far across segments, and the LUT-cache keys
+  /// already accounted — so a (firmware, model) pair first active in a
+  /// later segment, or a rebuild after a process restart, is never
+  /// double-counted into the summary's lut_builds (which counts *logical*
+  /// builds of the whole segmented run, matching what one uninterrupted
+  /// run would have measured).
+  std::uint64_t lut_builds = 0;
+  std::vector<placement::LutCacheKey> lut_counted;
+  /// One entry per device, in id order (devices not yet joined included,
+  /// with started == false).
+  std::vector<DeviceProgress> devices;
+
+  /// Serializes to the versioned binary format (magic, version, tagged
+  /// payload, trailing FNV-1a checksum).
+  [[nodiscard]] std::string to_bytes() const;
+
+  /// Parses to_bytes() output. Throws std::runtime_error on a bad magic, a
+  /// version newer than this build supports, a checksum mismatch, a
+  /// truncated stream, or an unknown field tag.
+  [[nodiscard]] static FleetSnapshot from_bytes(std::string_view bytes);
+
+  /// to_bytes()/from_bytes() through a file. Throw std::runtime_error on
+  /// I/O failure.
+  void save(const std::string& path) const;
+  [[nodiscard]] static FleetSnapshot load(const std::string& path);
+};
+
+}  // namespace hhpim::fleet

@@ -51,6 +51,55 @@ struct DeviceSpec {
   workload::ScenarioConfig cfg;      ///< per-device seed already applied
   int phase = 0;                     ///< left rotation of the load trace
   std::uint64_t seed = 0;            ///< effective per-device seed (echo)
+  std::size_t firmware_index = 0;    ///< into FleetSpec::resolved_firmware()
+  /// Lifecycle window in global slice indices: the device executes global
+  /// slices [join_slice, leave_slice). A device that stays to the horizon
+  /// (leave_slice == FleetSpec::slices, or the -1 hand-built default) runs
+  /// the drain slice for its final buffer; one that leaves early drops the
+  /// final buffer exactly like exhaustion drops future arrivals.
+  int join_slice = 0;
+  int leave_slice = -1;              ///< -1 = runs to the horizon
+};
+
+/// Random lifecycle draws for expand(): each device independently joins
+/// late / leaves early with these probabilities (uniform slice within the
+/// legal range). Zero fractions draw nothing, so default specs expand
+/// byte-identically to pre-lifecycle builds.
+struct LifecycleSpec {
+  double join_fraction = 0.0;   ///< P(device joins at a slice > 0)
+  double leave_fraction = 0.0;  ///< P(device leaves before the horizon)
+};
+
+/// Pins one device's lifecycle window, overriding the random draws.
+struct LifecycleOverride {
+  std::uint32_t id = 0;
+  int join_slice = 0;
+  int leave_slice = -1;  ///< -1 = runs to the horizon
+};
+
+/// Global charging schedule: during the first `window` slices of every
+/// `period`-slice cycle (in global slice indices), each live device
+/// recharges `energy_per_slice` at the start of the executed slice —
+/// before the adaptive policy observes the SoC — clamped at capacity by
+/// Battery::recharge. period == 0 disables charging.
+struct ChargingSpec {
+  int period = 0;
+  int window = 0;
+  Energy energy_per_slice = Energy::zero();
+};
+
+/// Global load envelope: one workload::generate stream over the fleet
+/// horizon, normalized to [min_multiplier, max_multiplier] by the shape's
+/// own low/high, multiplying every device's arrivals at its *global* slice
+/// index (effective = int(raw * m + 0.5)). min == max == 1.0 reproduces
+/// un-enveloped output byte-identically.
+struct LoadEnvelope {
+  bool enabled = false;
+  workload::Scenario shape = workload::Scenario::kPulsing;
+  workload::ScenarioConfig cfg;  ///< slices/seed overridden from the fleet
+  double min_multiplier = 1.0;
+  double max_multiplier = 1.0;
+  std::uint64_t seed = 0xd1a2025;
 };
 
 struct FleetSpec {
@@ -75,6 +124,12 @@ struct FleetSpec {
   /// must stay null — the simulator supplies it (FleetOptions::lut_cache;
   /// validate() rejects a preset cache).
   sys::SystemConfig config;
+  /// Firmware heterogeneity: the per-device SystemConfig population (mixed
+  /// ArchConfigs / power specs / knob generations in one fleet). Empty =
+  /// {config}; devices draw uniformly. Every entry obeys the same
+  /// constraints as `config` (null lut_cache; HH-PIM with MRAM when
+  /// `adapt` is on).
+  std::vector<sys::SystemConfig> firmware;
   energy::BatteryConfig battery;
   AdaptiveThresholds thresholds;
   /// Battery-driven mode adaptation (fleet::AdaptivePolicy). Off = every
@@ -82,18 +137,39 @@ struct FleetSpec {
   bool adapt = true;
   std::uint64_t seed = 0x5eed2025;
   AggregateShape histograms;
+  LifecycleSpec lifecycle;
+  /// Pinned lifecycle windows, applied after the random draws (by id).
+  std::vector<LifecycleOverride> lifecycle_overrides;
+  ChargingSpec charging;
+  LoadEnvelope envelope;
 
   /// The model population after defaulting (never empty).
   [[nodiscard]] std::vector<nn::Model> resolved_models() const;
   /// The scenario mix after defaulting (never empty).
   [[nodiscard]] std::vector<workload::Scenario> resolved_mix() const;
+  /// The firmware population after defaulting (never empty).
+  [[nodiscard]] std::vector<sys::SystemConfig> resolved_firmware() const;
 
-  /// One DeviceSpec per device, in id order. Throws std::invalid_argument
-  /// on a malformed spec (negative devices, slices <= 0, a trace scenario
-  /// in the mix, or adapt on a non-HH-PIM / MRAM-less arch).
+  /// The per-global-slice envelope multiplier stream over the horizon;
+  /// empty when envelope.enabled is false. Resolved once per run and shared
+  /// by every worker.
+  [[nodiscard]] std::vector<double> envelope_multipliers() const;
+
+  /// Digest of every behavior-determining field (models, firmware reuse
+  /// keys, workload shape, battery, lifecycle, charging, envelope, seed...)
+  /// — the identity a FleetSnapshot is pinned to: restoring onto a spec
+  /// with a different digest fails loudly.
+  [[nodiscard]] std::uint64_t content_digest() const;
+
+  /// One DeviceSpec per device, in id order, lifecycle windows normalized
+  /// (leave_slice resolved to `slices` for horizon devices; cfg.slices =
+  /// leave - join). Throws std::invalid_argument on a malformed spec
+  /// (negative devices, slices <= 0, a trace scenario in the mix, adapt on
+  /// a non-HH-PIM / MRAM-less arch, or an out-of-range lifecycle override).
   [[nodiscard]] std::vector<DeviceSpec> expand() const;
 
-  /// Validation only (same throws as expand()); cheap, O(mix).
+  /// Validation only (same throws as expand()); O(mix + firmware * models
+  /// + slices when the envelope is enabled).
   void validate() const;
 };
 
@@ -104,5 +180,11 @@ struct FleetSpec {
 /// what the fleet's shard workers call per device so trace regeneration
 /// allocates nothing after the first device of a shard.
 void device_loads_into(const DeviceSpec& spec, std::vector<int>& out);
+
+/// device_loads_into() with the fleet's envelope applied: arrival k of a
+/// device is scaled by env[join_slice + k] (the device's *global* slice
+/// index), rounded to nearest. An empty `env` applies no scaling.
+void device_loads_into(const DeviceSpec& spec, const std::vector<double>& env,
+                       std::vector<int>& out);
 
 }  // namespace hhpim::fleet

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/hash.hpp"
+#include "common/serialize.hpp"
 #include "placement/lut_cache.hpp"
 
 namespace hhpim::sys {
@@ -515,6 +516,46 @@ std::uint64_t Processor::state_digest() const {
   if (lp_.has_value()) lp_->add_state(h, now_);
   xfer_->add_state(h, now_);
   return h.digest();
+}
+
+void Processor::save_state(ByteWriter& w) const {
+  for (const std::uint64_t v : current_.weights) w.u64(v);
+  w.u8(override_.has_value() ? 1 : 0);
+  if (override_.has_value()) {
+    for (const std::uint64_t v : override_->weights) w.u64(v);
+  }
+  w.i32(slice_index_);
+  w.u8(hp_.has_value() ? 1 : 0);
+  if (hp_.has_value()) hp_->save_state(w, now_);
+  w.u8(lp_.has_value() ? 1 : 0);
+  if (lp_.has_value()) lp_->save_state(w, now_);
+  xfer_->save_state(w, now_);
+}
+
+void Processor::load_state(ByteReader& r) {
+  for (std::uint64_t& v : current_.weights) v = r.u64();
+  if (r.u8() != 0) {
+    placement::Allocation o;
+    for (std::uint64_t& v : o.weights) v = r.u64();
+    override_ = o;
+  } else {
+    override_.reset();
+  }
+  slice_index_ = r.i32();
+  if ((r.u8() != 0) != hp_.has_value()) {
+    throw std::runtime_error("snapshot: HP-cluster shape mismatch");
+  }
+  if (hp_.has_value()) hp_->load_state(r);
+  if ((r.u8() != 0) != lp_.has_value()) {
+    throw std::runtime_error("snapshot: LP-cluster shape mismatch");
+  }
+  if (lp_.has_value()) lp_->load_state(r);
+  xfer_->load_state(r);
+  // The restored component times are relative to the snapshot's slice
+  // boundary; the clock rebases to zero (save_state stored them that way).
+  // The decision memo stays cold — decisions are pure.
+  now_ = Time::zero();
+  memo_.clear();
 }
 
 std::uint64_t processor_reuse_key(const SystemConfig& config,

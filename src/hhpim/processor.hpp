@@ -29,6 +29,11 @@
 #include "placement/lut.hpp"
 #include "workload/task.hpp"
 
+namespace hhpim {
+class ByteWriter;  // common/serialize.hpp
+class ByteReader;
+}  // namespace hhpim
+
 namespace hhpim::placement {
 class LutCache;  // placement/lut_cache.hpp — only a pointer is stored here
 }
@@ -160,6 +165,25 @@ class Processor {
   /// construction, reset() or run_slice) — mid-operation state is not
   /// digested.
   [[nodiscard]] std::uint64_t state_digest() const;
+
+  /// Checkpoint save: serializes exactly the mutable state state_digest()
+  /// walks (allocation, override, cluster/xfer component state with times
+  /// relative to the internal clock) plus the slice index — everything a
+  /// load_state() needs to resume at a slice boundary. Call only at slice
+  /// boundaries (after construction, reset() or run_slice), like
+  /// state_digest(). History (cumulative counters, the ledger, now_) is
+  /// deliberately not saved: slice energy is window-based and all times are
+  /// stored relative, so a restored processor continues bit-identically
+  /// with its clock rebased to zero (tests/test_snapshot.cpp pins this).
+  void save_state(ByteWriter& w) const;
+
+  /// Inverse of save_state(). Must be called on a freshly constructed or
+  /// reset() Processor built from the same processor_reuse_key inputs.
+  /// Throws std::runtime_error when the blob's component shape does not
+  /// match this processor's (wrong arch/model for the snapshot). The
+  /// decision memo starts cold — decisions are pure, so warmth is a
+  /// wall-clock concern, never a behavioral one.
+  void load_state(ByteReader& r);
 
   [[nodiscard]] Time slice_length() const { return slice_; }
   [[nodiscard]] const placement::CostModel& cost_model() const { return cost_; }

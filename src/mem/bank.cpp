@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/serialize.hpp"
+
 namespace hhpim::mem {
 
 Bank::Bank(BankConfig config, energy::EnergyLedger* ledger)
@@ -170,6 +172,41 @@ void Bank::reset_accounting() {
   if (storage_dirty_) {
     std::fill(storage_.begin(), storage_.end(), 0);
     storage_dirty_ = false;
+  }
+}
+
+void Bank::save_state(ByteWriter& w, Time now) const {
+  const bool on = tracker_.is_on();
+  w.u8(on ? 1 : 0);
+  w.i64(on ? (tracker_.anchor() - now).as_ps() : std::int64_t{0});
+  w.f64(tracker_.leakage().as_mw());
+  w.u64(static_cast<std::uint64_t>(active_bytes_));
+  w.u8(data_valid_ ? 1 : 0);
+  w.u8(storage_dirty_ ? 1 : 0);
+  w.i64(std::max<std::int64_t>((busy_until_ - now).as_ps(), 0));
+  if (storage_dirty_) {
+    w.blob(std::string_view{reinterpret_cast<const char*>(storage_.data()),
+                            storage_.size()});
+  }
+}
+
+void Bank::load_state(ByteReader& r) {
+  const bool on = r.u8() != 0;
+  const Time anchor = Time::ps(r.i64());
+  const Power leakage = Power::mw(r.f64());
+  tracker_.restore(on, anchor, leakage);
+  active_bytes_ = static_cast<std::size_t>(r.u64());
+  data_valid_ = r.u8() != 0;
+  storage_dirty_ = r.u8() != 0;
+  busy_until_ = Time::ps(r.i64());
+  if (storage_dirty_) {
+    const std::string_view bytes = r.blob();
+    if (bytes.size() != storage_.size()) {
+      throw std::runtime_error("snapshot: storage size mismatch for bank " +
+                               config_.name);
+    }
+    std::copy(bytes.begin(), bytes.end(),
+              reinterpret_cast<char*>(storage_.data()));
   }
 }
 

@@ -18,6 +18,11 @@
 #include "energy/ledger.hpp"
 #include "energy/power_spec.hpp"
 
+namespace hhpim {
+class ByteWriter;  // common/serialize.hpp
+class ByteReader;
+}  // namespace hhpim
+
 namespace hhpim::mem {
 
 /// Result of a timed access request.
@@ -135,6 +140,17 @@ class Bank {
                               : std::int64_t{0})
         .add(std::max<std::int64_t>((busy_until_ - now).as_ps(), 0));
   }
+
+  /// Checkpoint save of exactly the state add_state() digests — power
+  /// state (including the tracker's exact leakage-power bits, which vary
+  /// with set_active_bytes), residency gating, validity flags and the
+  /// busy horizon relative to `now` — plus storage contents when dirty.
+  /// load_state() is the inverse: call it on a reset_accounting() bank
+  /// whose internal clock is at zero (times load as now = 0; the clamp in
+  /// add_state makes that behaviorally exact at slice boundaries). Throws
+  /// std::runtime_error on a storage-size mismatch.
+  void save_state(ByteWriter& w, Time now) const;
+  void load_state(ByteReader& r);
 
   // --- Untimed (functional) accesses — used by the RISC-V bus --------------
 

@@ -11,6 +11,11 @@
 #include "common/units.hpp"
 #include "energy/ledger.hpp"
 
+namespace hhpim {
+class ByteWriter;  // common/serialize.hpp
+class ByteReader;
+}  // namespace hhpim
+
 namespace hhpim::noc {
 
 struct LinkConfig {
@@ -46,6 +51,11 @@ class Link {
     busy_until_ = Time::zero();
     bytes_moved_ = 0;
   }
+
+  /// Checkpoint save/load of exactly the state add_state() digests (the
+  /// clamped occupancy horizon; see mem::Bank::save_state for the contract).
+  void save_state(ByteWriter& w, Time now) const;
+  void load_state(ByteReader& r);
 
   /// Behavior-relevant state relative to `now` (see mem::Bank::add_state):
   /// only the occupancy horizon; bytes_moved is history.

@@ -13,6 +13,11 @@
 #include "energy/ledger.hpp"
 #include "energy/power_spec.hpp"
 
+namespace hhpim {
+class ByteWriter;  // common/serialize.hpp
+class ByteReader;
+}  // namespace hhpim
+
 namespace hhpim::pe {
 
 struct MacResult {
@@ -84,6 +89,11 @@ class ProcessingElement {
     busy_until_ = Time::zero();
     macs_ = 0;
   }
+
+  /// Checkpoint save/load of exactly the state add_state() digests (see
+  /// mem::Bank::save_state for the contract).
+  void save_state(ByteWriter& w, Time now) const;
+  void load_state(ByteReader& r);
 
   // --- Functional helpers --------------------------------------------------
 

@@ -13,6 +13,11 @@
 #include "pim/controller.hpp"
 #include "pim/module.hpp"
 
+namespace hhpim {
+class ByteWriter;  // common/serialize.hpp
+class ByteReader;
+}  // namespace hhpim
+
 namespace hhpim::pim {
 
 struct ClusterConfig {
@@ -72,6 +77,12 @@ class Cluster {
   /// power/accounting state (processor reuse; the owning processor resets
   /// the ledger separately).
   void reset_accounting();
+
+  /// Checkpoint save/load of exactly the state add_state() digests (see
+  /// mem::Bank::save_state for the contract). load_state throws
+  /// std::runtime_error on a module-count mismatch.
+  void save_state(ByteWriter& w, Time now) const;
+  void load_state(ByteReader& r);
 
   /// Behavior-relevant state of every module and the controller, relative
   /// to `now` (see mem::Bank::add_state).

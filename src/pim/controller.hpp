@@ -21,6 +21,11 @@
 #include "pim/instruction_queue.hpp"
 #include "pim/module.hpp"
 
+namespace hhpim {
+class ByteWriter;  // common/serialize.hpp
+class ByteReader;
+}  // namespace hhpim
+
 namespace hhpim::pim {
 
 /// Controller FSM states (paper Fig. 2).
@@ -92,6 +97,13 @@ class PimController {
                               : std::int64_t{0});
     allocator_.add_state(h, now);
   }
+
+  /// Checkpoint save/load of exactly the state add_state() digests (see
+  /// mem::Bank::save_state for the contract). save_state throws
+  /// std::logic_error while instructions are queued — queue contents are
+  /// not serialized (the slice-loop workload path never enqueues any).
+  void save_state(ByteWriter& w, Time now) const;
+  void load_state(ByteReader& r);
 
   /// Returns FSM/accounting state to just-constructed (processor reuse).
   /// Queued instructions are not dropped — the slice-loop workload path

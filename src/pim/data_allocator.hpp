@@ -19,6 +19,11 @@
 #include "noc/link.hpp"
 #include "pim/module.hpp"
 
+namespace hhpim {
+class ByteWriter;  // common/serialize.hpp
+class ByteReader;
+}  // namespace hhpim
+
 namespace hhpim::pim {
 
 /// One planned movement of `weights` int8 weights.
@@ -71,6 +76,10 @@ class DataAllocator {
   /// Behavior-relevant state relative to `now` (see mem::Bank::add_state):
   /// the MEM-interface occupancy; total_weights_moved is history.
   void add_state(Fnv1a& h, Time now) const { mem_interface_.add_state(h, now); }
+
+  /// Checkpoint save/load of exactly the state add_state() digests.
+  void save_state(ByteWriter& w, Time now) const;
+  void load_state(ByteReader& r);
 
  private:
   /// One pipelined chunked transfer between two modules.

@@ -26,6 +26,11 @@
 #include "mem/bank.hpp"
 #include "pe/processing_element.hpp"
 
+namespace hhpim {
+class ByteWriter;  // common/serialize.hpp
+class ByteReader;
+}  // namespace hhpim
+
 namespace hhpim::pim {
 
 struct ModuleConfig {
@@ -159,6 +164,14 @@ class PimModule {
     sram_.add_state(h, now);
     pe_.add_state(h, now);
   }
+
+  /// Checkpoint save/load of exactly the state add_state() digests —
+  /// residency, the occupancy horizon, and each component's state (see
+  /// mem::Bank::save_state for the contract). load_state throws
+  /// std::runtime_error when the blob's MRAM shape does not match this
+  /// module's.
+  void save_state(ByteWriter& w, Time now) const;
+  void load_state(ByteReader& r);
 
   /// Per-MAC latency when streaming from memory `m` (t_read + t_pe).
   [[nodiscard]] Time mac_latency(energy::MemoryKind m) const;

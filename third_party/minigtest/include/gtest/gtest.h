@@ -5,7 +5,8 @@
 // cmake/GTestSetup.cmake. It implements exactly the API surface the suites in
 // tests/ use: TEST / TEST_F / TEST_P + INSTANTIATE_TEST_SUITE_P with
 // Range/Values/Combine, the EXPECT_* / ASSERT_* families below,
-// SCOPED_TRACE and GTEST_SKIP. It is not a general gtest replacement.
+// ADD_FAILURE / FAIL, SCOPED_TRACE and GTEST_SKIP. It is not a general
+// gtest replacement.
 #ifndef MINIGTEST_GTEST_H_
 #define MINIGTEST_GTEST_H_
 
@@ -348,37 +349,42 @@ int RunAllTestsImpl();
                     false)                                                \
       << "Expected: " #a " ~= " #b " (4 ULP), which is false. "
 
+// Lambda-based (rather than do-while) so callers can stream context:
+// `EXPECT_THROW(f(), std::runtime_error) << "case " << i;` — matching the
+// real gtest macros, which are also streamable.
 #define EXPECT_THROW(stmt, extype)                                        \
-  do {                                                                    \
-    bool gtest_mini_caught = false, gtest_mini_wrong = false;             \
-    try {                                                                 \
-      stmt;                                                               \
-    } catch (const ::testing::internal::FatalFailure&) {                  \
-      throw;                                                              \
-    } catch (const extype&) {                                             \
-      gtest_mini_caught = true;                                           \
-    } catch (...) {                                                       \
-      gtest_mini_wrong = true;                                            \
-    }                                                                     \
-    GTEST_MINI_CHECK_(gtest_mini_caught, false)                           \
-        << "Expected: " #stmt " throws " #extype ". "                     \
-        << (gtest_mini_wrong ? "It threw a different type."               \
-                             : "It threw nothing.");                      \
-  } while (0)
+  GTEST_MINI_CHECK_(                                                      \
+      ([&]() -> bool {                                                    \
+        try {                                                             \
+          stmt;                                                           \
+        } catch (const ::testing::internal::FatalFailure&) {              \
+          throw;                                                          \
+        } catch (const extype&) {                                         \
+          return true;                                                    \
+        } catch (...) {                                                   \
+        }                                                                 \
+        return false;                                                     \
+      })(),                                                               \
+      false)                                                              \
+      << "Expected: " #stmt " throws " #extype ", but it did not. "
 
 #define EXPECT_NO_THROW(stmt)                                             \
-  do {                                                                    \
-    bool gtest_mini_threw = false;                                        \
-    try {                                                                 \
-      stmt;                                                               \
-    } catch (const ::testing::internal::FatalFailure&) {                  \
-      throw;                                                              \
-    } catch (...) {                                                       \
-      gtest_mini_threw = true;                                            \
-    }                                                                     \
-    GTEST_MINI_CHECK_(!gtest_mini_threw, false)                           \
-        << "Expected: " #stmt " does not throw, but it threw. ";          \
-  } while (0)
+  GTEST_MINI_CHECK_(                                                      \
+      ([&]() -> bool {                                                    \
+        try {                                                             \
+          stmt;                                                           \
+        } catch (const ::testing::internal::FatalFailure&) {              \
+          throw;                                                          \
+        } catch (...) {                                                   \
+          return false;                                                   \
+        }                                                                 \
+        return true;                                                      \
+      })(),                                                               \
+      false)                                                              \
+      << "Expected: " #stmt " does not throw, but it threw. "
+
+#define ADD_FAILURE() GTEST_MINI_CHECK_(false, false) << "Failed. "
+#define FAIL() GTEST_MINI_CHECK_(false, true) << "Failed. "
 
 #define GTEST_SKIP()                                           \
   return ::testing::internal::SkipAssigner() =                 \
