@@ -6,6 +6,7 @@
 #include "fleet/aggregate.hpp"
 #include "fleet/outcome_cache.hpp"
 #include "hhpim/scheduler.hpp"
+#include "placement/pareto.hpp"
 
 namespace hhpim::fleet {
 
@@ -39,7 +40,9 @@ Device::Device(const FleetSpec& fleet, const DeviceSpec& spec,
       low_power_alloc_(fleet.adapt
                            ? sys::balanced_mram_split(proc_->cost_model(),
                                                       proc_->total_weights())
-                           : placement::Allocation{}) {}
+                           : placement::Allocation{}) {
+  init_slo_tiers();
+}
 
 Device::Device(const FleetSpec& fleet, const DeviceSpec& spec,
                const nn::Model& model, sys::Processor& proc)
@@ -52,7 +55,34 @@ Device::Device(const FleetSpec& fleet, const DeviceSpec& spec,
       low_power_alloc_(fleet.adapt
                            ? sys::balanced_mram_split(proc_->cost_model(),
                                                       proc_->total_weights())
-                           : placement::Allocation{}) {}
+                           : placement::Allocation{}) {
+  init_slo_tiers();
+}
+
+void Device::init_slo_tiers() {
+  if (spec_.latency_slo_ps <= 0) return;
+  const placement::AllocationLut* lut = proc_->lut();
+  if (lut == nullptr) return;  // validate() rejects non-HH-PIM SLO fleets
+  const placement::LutEntry* entry =
+      lut->lookup_or_peak(Time::ps(spec_.latency_slo_ps));
+  if (entry == nullptr || entry->frontier.empty()) return;  // nothing feasible
+  // kBalanced: the entry's anchor — min energy subject to the SLO (the
+  // legacy knapsack answer for this constraint, bit-exact).
+  slo_allocs_[static_cast<std::size_t>(FrontierTier::kBalanced)] = entry->alloc;
+  // kPerformance: the fastest point on the same frontier.
+  slo_allocs_[static_cast<std::size_t>(FrontierTier::kPerformance)] =
+      placement::min_latency_point(entry->frontier).alloc;
+  // kSaver: min energy outright — the most relaxed entry's anchor (feasibility
+  // is monotone in t_constraint, so the last entry is feasible whenever any
+  // is). Deliberately waives the SLO: the battery is dying.
+  slo_allocs_[static_cast<std::size_t>(FrontierTier::kSaver)] =
+      lut->entries().back().alloc;
+  slo_ok_ = true;
+}
+
+const placement::Allocation& Device::tier_alloc(FrontierTier t) const {
+  return slo_allocs_[static_cast<std::size_t>(t)];
+}
 
 bool Device::has_drain() const {
   return spec_.leave_slice < 0 || spec_.leave_slice >= fleet_.slices;
@@ -86,12 +116,14 @@ void Device::start_progress(DeviceProgress& p, const std::vector<int>& loads) co
   r.slice_ps = proc_->slice_length().as_ps();
   r.slices_total = total_steps(loads);
   r.battery_capacity_pj = battery_.capacity().as_pj();
+  r.latency_slo_ps = spec_.latency_slo_ps;
   p.started = true;
 }
 
 void Device::capture_progress(DeviceProgress& p) const {
   p.mode = static_cast<std::uint8_t>(policy_.mode());
   p.switches = policy_.switches();
+  p.tier = applied_tier_;
   p.charge_pj = battery_.charge().as_pj();
   ByteWriter w;
   proc_->save_state(w);
@@ -101,6 +133,9 @@ void Device::capture_progress(DeviceProgress& p) const {
 void Device::restore_progress(const DeviceProgress& p) {
   battery_.restore_charge(Energy::pj(p.charge_pj));
   policy_.restore(static_cast<DeviceMode>(p.mode), p.switches);
+  // The override itself rides in the processor blob; only the tier label
+  // needs restoring so the next slice doesn't re-install (and recount) it.
+  applied_tier_ = p.tier;
   ByteReader r{p.proc_state};
   proc_->load_state(r);
 }
@@ -135,7 +170,22 @@ bool Device::run_steps(DeviceProgress& p, const std::vector<int>& loads,
     }
 
     DeviceMode mode = DeviceMode::kDynamic;
-    if (fleet_.adapt) {
+    FrontierTier tier = FrontierTier::kBalanced;
+    if (slo_active()) {
+      // SLO-aware frontier policy: the hysteresis mode still advances (it
+      // feeds kSaver and the JSONL mode fields), but the placement pinned is
+      // the tier's frontier point, not the dynamic/MRAM toggle. Without
+      // adaptation there is no SoC signal — the device holds kBalanced.
+      if (fleet_.adapt) {
+        mode = policy_.update(battery_.soc());
+        tier = select_tier(mode, battery_.soc(), fleet_.thresholds);
+      }
+      if (static_cast<std::uint8_t>(tier) != applied_tier_) {
+        proc_->set_placement_override(tier_alloc(tier));
+        if (applied_tier_ != 255) ++r.tier_switches;
+        applied_tier_ = static_cast<std::uint8_t>(tier);
+      }
+    } else if (fleet_.adapt) {
       mode = policy_.update(battery_.soc());
       if (mode == DeviceMode::kLowPower && !proc_->placement_override_active()) {
         proc_->set_placement_override(low_power_alloc_);
@@ -155,8 +205,11 @@ bool Device::run_steps(DeviceProgress& p, const std::vector<int>& loads,
       const std::uint64_t post = proc_->state_digest();
       recorder->recorded.push_back(
           {SliceOutcomeKey{recorder->reuse_key, pre,
+                           slo_active() ? spec_.latency_slo_ps : 0,
                            static_cast<std::uint32_t>(buffered),
-                           static_cast<std::uint8_t>(mode)},
+                           static_cast<std::uint8_t>(mode),
+                           slo_active() ? static_cast<std::uint8_t>(tier)
+                                        : std::uint8_t{0}},
            SliceOutcome{requested.as_pj(), s.busy_time.as_ps(),
                         s.movement_time.as_ps(), post, s.deadline_violated}});
       pre = post;

@@ -20,6 +20,7 @@
 // arch resolve to the same LUT build.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -71,6 +72,11 @@ struct DeviceResult {
   std::int64_t busy_time_ps = 0;       ///< sum of per-slice busy times
   std::int64_t max_busy_ps = 0;        ///< worst slice
   std::int64_t movement_time_ps = 0;   ///< sum of per-slice movement overheads
+
+  // SLO-aware frontier policy (zero / absent from JSONL when the device has
+  // no SLO — docs/PARETO.md).
+  std::int64_t latency_slo_ps = 0;     ///< DeviceSpec::latency_slo_ps echo
+  std::uint32_t tier_switches = 0;     ///< frontier-tier transitions
 };
 
 /// One device's resumable mid-run state — what a FleetSnapshot stores per
@@ -87,6 +93,7 @@ struct DeviceProgress {
   bool done = false;        ///< stream complete (drained, left, or exhausted)
   std::uint8_t mode = 0;    ///< AdaptivePolicy mode (DeviceMode)
   std::uint32_t switches = 0;
+  std::uint8_t tier = 255;  ///< FrontierTier applied (255 = none yet; SLO only)
   int buffered = 0;         ///< arrivals awaiting execution in the next slice
   double charge_pj = 0.0;   ///< exact battery charge bits
   std::vector<std::int64_t> sample_busy_ps;  ///< per executed slice
@@ -179,6 +186,12 @@ class Device {
   [[nodiscard]] const energy::Battery& battery() const { return battery_; }
 
  private:
+  /// Resolves the three frontier-tier allocations once per device (SLO set
+  /// and HH-PIM LUT present; no-ops otherwise — slo_active() stays false).
+  void init_slo_tiers();
+  [[nodiscard]] bool slo_active() const { return spec_.latency_slo_ps > 0 && slo_ok_; }
+  [[nodiscard]] const placement::Allocation& tier_alloc(FrontierTier t) const;
+
   const FleetSpec& fleet_;
   const DeviceSpec& spec_;
   const nn::Model& model_;
@@ -187,6 +200,11 @@ class Device {
   energy::Battery battery_;
   AdaptivePolicy policy_;
   placement::Allocation low_power_alloc_;
+  // SLO frontier picks, resolved once from the processor's LUT: [balanced,
+  // performance, saver] indexed by FrontierTier.
+  std::array<placement::Allocation, 3> slo_allocs_{};
+  bool slo_ok_ = false;           ///< tiers resolved (LUT had a feasible entry)
+  std::uint8_t applied_tier_ = 255;  ///< override installed (255 = none yet)
 };
 
 }  // namespace hhpim::fleet

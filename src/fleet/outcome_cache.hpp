@@ -15,8 +15,10 @@
 // Key anatomy (docs/PERF.md "Device-level memoization"):
 //   reuse_key  sys::processor_reuse_key(config, model) — which machine
 //   state      Processor::state_digest() before the slice — where it is
+//   slo_ps     the device's latency SLO (the frontier the policy picks from)
 //   n_tasks    the exact buffered-task count (the "load bucket")
 //   mode       fleet::DeviceMode for the slice (the "SoC bucket")
+//   tier       fleet::FrontierTier pinned for the slice (the "SLO bucket")
 // The buckets are exact, not approximations: two devices fall into the same
 // bucket only when the simulator would compute bit-identical slices for
 // them, so memoization changes wall-clock, never output.
@@ -45,12 +47,22 @@
 namespace hhpim::fleet {
 
 /// Value-semantic memo key; equality compares every field, so outcomes are
-/// never shared across distinct machines, states, loads or modes.
+/// never shared across distinct machines, states, loads, modes or SLO
+/// placements.
+///
+/// `slo_ps`/`tier` exist because the SLO policy's frontier pick is decided
+/// *before* the slice runs: on the first slice the `state` digest predates
+/// the override the tier is about to install, so without these fields two
+/// devices with different SLOs (or different tiers at the same state) would
+/// share a bucket and replay each other's outcomes. Both are 0 whenever the
+/// device has no SLO, which keeps pre-SLO keys' contents unchanged.
 struct SliceOutcomeKey {
   std::uint64_t reuse_key = 0;  ///< sys::processor_reuse_key(config, model)
   std::uint64_t state = 0;      ///< Processor::state_digest() before the slice
+  std::int64_t slo_ps = 0;      ///< DeviceSpec::latency_slo_ps (0 = no SLO)
   std::uint32_t n_tasks = 0;    ///< buffered tasks executed this slice
   std::uint8_t mode = 0;        ///< fleet::DeviceMode for the slice
+  std::uint8_t tier = 0;        ///< fleet::FrontierTier pinned (0 when no SLO)
 
   [[nodiscard]] bool operator==(const SliceOutcomeKey&) const = default;
 
@@ -59,8 +71,10 @@ struct SliceOutcomeKey {
       Fnv1a h;
       h.add(k.reuse_key)
           .add(k.state)
+          .add(k.slo_ps)
           .add(static_cast<std::uint64_t>(k.n_tasks))
-          .add(static_cast<std::uint64_t>(k.mode));
+          .add(static_cast<std::uint64_t>(k.mode))
+          .add(static_cast<std::uint64_t>(k.tier));
       return static_cast<std::size_t>(h.digest());
     }
   };

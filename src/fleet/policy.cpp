@@ -12,6 +12,22 @@ const char* to_string(DeviceMode m) {
   return "?";
 }
 
+const char* to_string(FrontierTier t) {
+  switch (t) {
+    case FrontierTier::kBalanced: return "balanced";
+    case FrontierTier::kPerformance: return "performance";
+    case FrontierTier::kSaver: return "saver";
+  }
+  return "?";
+}
+
+FrontierTier select_tier(DeviceMode mode, double soc,
+                         const AdaptiveThresholds& thresholds) {
+  if (mode == DeviceMode::kLowPower) return FrontierTier::kSaver;
+  if (soc >= thresholds.high_soc) return FrontierTier::kPerformance;
+  return FrontierTier::kBalanced;
+}
+
 AdaptivePolicy::AdaptivePolicy(AdaptiveThresholds thresholds)
     : thresholds_(thresholds) {
   if (thresholds.low_soc < 0.0 || thresholds.high_soc > 1.0 ||

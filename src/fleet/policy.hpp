@@ -28,6 +28,18 @@ enum class DeviceMode : std::uint8_t { kDynamic = 0, kLowPower };
 
 [[nodiscard]] const char* to_string(DeviceMode m);
 
+/// Which point of a LUT entry's Pareto frontier an SLO-aware device pins
+/// (placement/pareto.hpp; only meaningful when DeviceSpec::latency_slo_ps is
+/// set). Numeric values are part of the SliceOutcomeKey encoding — append
+/// only.
+enum class FrontierTier : std::uint8_t {
+  kBalanced = 0,     ///< min energy subject to the SLO (the frontier anchor)
+  kPerformance = 1,  ///< min latency — battery is rich, buy headroom
+  kSaver = 2,        ///< min energy outright — SLO waived for battery survival
+};
+
+[[nodiscard]] const char* to_string(FrontierTier t);
+
 struct AdaptiveThresholds {
   /// SoC at or below which the device pins the low-power static placement.
   double low_soc = 0.30;
@@ -35,6 +47,16 @@ struct AdaptiveThresholds {
   /// >= low_soc (equal thresholds are allowed: zero hysteresis).
   double high_soc = 0.50;
 };
+
+/// The frontier tier for one slice, from the hysteresis mode and the SoC
+/// observed at the slice boundary. Pure — Device::run_steps and the fleet
+/// simulator's SoA replay mirror call this same function, which is what
+/// keeps memo replays byte-identical to the exact path:
+///   kSaver        iff mode == kLowPower (inherits the mode hysteresis);
+///   kPerformance  iff soc >= high_soc (exact threshold, like update());
+///   kBalanced     otherwise.
+[[nodiscard]] FrontierTier select_tier(DeviceMode mode, double soc,
+                                       const AdaptiveThresholds& thresholds);
 
 /// SoC-threshold mode controller with hysteresis. Feed it the SoC observed
 /// at each slice boundary; it returns the mode the coming slice should run

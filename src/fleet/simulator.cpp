@@ -74,6 +74,12 @@ void write_device_line(std::ostream& os, const DeviceResult& r,
   w.field("busy_time_ps", r.busy_time_ps);
   w.field("max_busy_ps", r.max_busy_ps);
   w.field("movement_time_ps", r.movement_time_ps);
+  if (r.latency_slo_ps > 0) {
+    // Appended only for SLO devices so no-SLO fleets keep the pre-SLO line
+    // layout byte for byte (pinned by tests/test_fleet.cpp).
+    w.field("latency_slo_ps", r.latency_slo_ps);
+    w.field("tier_switches", static_cast<std::uint64_t>(r.tier_switches));
+  }
   w.end_object();
   os << '\n';
 }
@@ -317,6 +323,8 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
     std::vector<double> charge_pj;         ///< Battery::charge mirror
     std::vector<std::uint8_t> mode;        ///< DeviceMode
     std::vector<std::uint32_t> switches;   ///< AdaptivePolicy::switches mirror
+    std::vector<std::uint8_t> tier;        ///< applied FrontierTier (255 = none)
+    std::vector<std::uint32_t> tier_switches;  ///< Device tier_switches mirror
     std::vector<std::uint64_t> state;      ///< current processor-state digest
     std::vector<std::int32_t> buffered;    ///< arrivals awaiting execution
     std::vector<double> energy_pj;
@@ -374,6 +382,8 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
       scratch.charge_pj.assign(count, initial_charge_pj);
       scratch.mode.assign(count, k_dynamic);
       scratch.switches.assign(count, 0);
+      scratch.tier.assign(count, 255);
+      scratch.tier_switches.assign(count, 0);
       scratch.state.resize(count);
       scratch.buffered.assign(count, 0);
       scratch.energy_pj.assign(count, 0.0);
@@ -421,6 +431,7 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
               }
             }
           }
+          std::uint8_t slice_tier = 0;
           if (spec.adapt) {
             const double soc = scratch.charge_pj[i] / capacity_pj;
             if (scratch.mode[i] == k_dynamic && soc <= spec.thresholds.low_soc) {
@@ -431,12 +442,23 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
               scratch.mode[i] = k_dynamic;
               ++scratch.switches[i];
             }
+            if (ds.latency_slo_ps > 0) {
+              // Mirror of the Device's frontier pick — the same pure
+              // select_tier on the same (mode, SoC) the hysteresis just saw.
+              slice_tier = static_cast<std::uint8_t>(
+                  select_tier(static_cast<DeviceMode>(scratch.mode[i]), soc,
+                              spec.thresholds));
+            }
+          }
+          if (ds.latency_slo_ps > 0 && slice_tier != scratch.tier[i]) {
+            if (scratch.tier[i] != 255) ++scratch.tier_switches[i];
+            scratch.tier[i] = slice_tier;
           }
           const SliceOutcome* out = memo->lookup(
               SliceOutcomeKey{model_info[pair_of(ds)].reuse_key,
-                              scratch.state[i],
+                              scratch.state[i], ds.latency_slo_ps,
                               static_cast<std::uint32_t>(scratch.buffered[i]),
-                              scratch.mode[i]});
+                              scratch.mode[i], slice_tier});
           if (out == nullptr) {
             scratch.replay[i] = 0;  // cold key -> exact path
             continue;
@@ -501,6 +523,8 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
           r.busy_time_ps = scratch.busy_ps[i];
           r.max_busy_ps = scratch.max_busy_ps[i];
           r.movement_time_ps = scratch.movement_ps[i];
+          r.latency_slo_ps = ds.latency_slo_ps;
+          r.tier_switches = scratch.tier_switches[i];
           for (std::size_t k = 0; k < dev_steps; ++k) {
             const Time busy = Time::ps(scratch.sample_busy_ps[i * total_slices + k]);
             agg.add_slice(

@@ -25,6 +25,12 @@ enum : std::uint16_t {
   kTagSamples = 4,  ///< buffered per-slice aggregate samples
   kTagProc = 5,     ///< Processor::save_state blob (live devices only)
   kTagDeviceEnd = 6,
+  /// SLO lane (latency_slo_ps, tier_switches, applied tier) — written only
+  /// when the device carries an SLO, so no-SLO snapshots stay byte-identical
+  /// to pre-SLO builds (and readable by them: the tag is self-describing
+  /// within this build; older readers fail loudly on it, which is the
+  /// intended behavior for a snapshot that genuinely needs the SLO fields).
+  kTagSlo = 7,
 };
 
 /// FNV-1a over a byte run, 8 bytes per step (little-endian packed, zero
@@ -89,6 +95,12 @@ void write_device(ByteWriter& w, const DeviceProgress& p) {
     w.u16(kTagProc);
     w.blob(p.proc_state);
   }
+  if (p.result.latency_slo_ps > 0 || p.result.tier_switches != 0 || p.tier != 255) {
+    w.u16(kTagSlo);
+    w.i64(p.result.latency_slo_ps);
+    w.u32(p.result.tier_switches);
+    w.u8(p.tier);
+  }
   w.u16(kTagDeviceEnd);
 }
 
@@ -145,6 +157,11 @@ DeviceProgress read_device(ByteReader& r) {
       }
       case kTagProc:
         p.proc_state = std::string(r.blob());
+        break;
+      case kTagSlo:
+        p.result.latency_slo_ps = r.i64();
+        p.result.tier_switches = r.u32();
+        p.tier = r.u8();
         break;
       case kTagDeviceEnd:
         return p;

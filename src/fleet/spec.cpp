@@ -105,6 +105,15 @@ std::uint64_t FleetSpec::content_digest() const {
         .add(envelope.seed);
     add_scenario_cfg(h, envelope.cfg);
   }
+  // SLO fields are fully guarded (no unconditional marker) so a spec without
+  // them digests byte-identically to pre-SLO builds — snapshots written
+  // before this field existed still restore onto the same spec.
+  if (latency_slo > Time::zero() || !slo_overrides.empty()) {
+    h.add(latency_slo.as_ps());
+    h.add(static_cast<std::uint64_t>(slo_overrides.size()));
+    for (const SloOverride& o : slo_overrides)
+      h.add(static_cast<std::uint64_t>(o.id)).add(o.latency_slo.as_ps());
+  }
   return h.digest();
 }
 
@@ -166,6 +175,28 @@ void FleetSpec::validate() const {
       throw std::invalid_argument(
           "FleetSpec: lifecycle override for device " + std::to_string(o.id) +
           " needs 0 <= join < leave <= slices and an in-range id");
+    }
+  }
+  if (latency_slo < Time::zero()) {
+    throw std::invalid_argument("FleetSpec: latency_slo must be >= 0");
+  }
+  for (const SloOverride& o : slo_overrides) {
+    if (o.id >= static_cast<std::uint32_t>(devices) ||
+        o.latency_slo < Time::zero()) {
+      throw std::invalid_argument(
+          "FleetSpec: SLO override for device " + std::to_string(o.id) +
+          " needs an in-range id and a non-negative latency");
+    }
+  }
+  if (latency_slo > Time::zero() || !slo_overrides.empty()) {
+    // The SLO tiers pin Pareto-frontier points, which only the HH-PIM LUT
+    // policy carries; fail here, not from the first SLO device constructed.
+    for (const sys::SystemConfig& fw : resolved_firmware()) {
+      if (fw.arch.kind != sys::ArchKind::kHhpim) {
+        throw std::invalid_argument(
+            "FleetSpec: latency SLOs need the HH-PIM arch "
+            "(frontier points come from the placement LUT)");
+      }
     }
   }
   if (charging.period < 0 || charging.window < 0 ||
@@ -241,6 +272,15 @@ std::vector<DeviceSpec> FleetSpec::expand() const {
   for (const LifecycleOverride& o : lifecycle_overrides) {
     specs[o.id].join_slice = o.join_slice;
     specs[o.id].leave_slice = o.leave_slice;
+  }
+  // SLO assignment is deterministic (no RNG draws): the fleet-wide default,
+  // then per-device pins. A spec with neither leaves every latency_slo_ps at
+  // 0, so pre-SLO expansions are reproduced byte-identically.
+  if (latency_slo > Time::zero()) {
+    for (DeviceSpec& s : specs) s.latency_slo_ps = latency_slo.as_ps();
+  }
+  for (const SloOverride& o : slo_overrides) {
+    specs[o.id].latency_slo_ps = o.latency_slo.as_ps();
   }
   for (DeviceSpec& s : specs) {
     if (s.leave_slice < 0 || s.leave_slice > slices) s.leave_slice = slices;

@@ -59,6 +59,10 @@ struct DeviceSpec {
   /// final buffer exactly like exhaustion drops future arrivals.
   int join_slice = 0;
   int leave_slice = -1;              ///< -1 = runs to the horizon
+  /// Per-device latency SLO in picoseconds; 0 = none. When set, the device
+  /// pins an SLO-aware Pareto-frontier point per slice (FrontierTier) instead
+  /// of the plain dynamic/MRAM-pinned toggle — see docs/PARETO.md.
+  std::int64_t latency_slo_ps = 0;
 };
 
 /// Random lifecycle draws for expand(): each device independently joins
@@ -75,6 +79,12 @@ struct LifecycleOverride {
   std::uint32_t id = 0;
   int join_slice = 0;
   int leave_slice = -1;  ///< -1 = runs to the horizon
+};
+
+/// Pins one device's latency SLO, overriding FleetSpec::latency_slo.
+struct SloOverride {
+  std::uint32_t id = 0;
+  Time latency_slo = Time::zero();  ///< zero = explicitly no SLO
 };
 
 /// Global charging schedule: during the first `window` slices of every
@@ -142,6 +152,12 @@ struct FleetSpec {
   std::vector<LifecycleOverride> lifecycle_overrides;
   ChargingSpec charging;
   LoadEnvelope envelope;
+  /// Fleet-wide latency SLO; zero = off. When off and `slo_overrides` is
+  /// empty, every derived field stays at its default and the spec expands,
+  /// digests and simulates byte-identically to pre-SLO builds.
+  Time latency_slo = Time::zero();
+  /// Per-device SLO pins, applied after the fleet-wide default (by id).
+  std::vector<SloOverride> slo_overrides;
 
   /// The model population after defaulting (never empty).
   [[nodiscard]] std::vector<nn::Model> resolved_models() const;

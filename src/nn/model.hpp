@@ -26,6 +26,14 @@ class Model {
   /// Fraction of operations executed on the PIM (Table IV).
   [[nodiscard]] double pim_op_ratio() const { return pim_ratio_; }
 
+  /// Relabels the model (variant ladders — nn::zoo::width_variants). The name
+  /// is excluded from topology_hash(), so renaming never changes placement or
+  /// LUT-cache behavior; it only changes how results are reported.
+  Model& rename(std::string name) {
+    name_ = std::move(name);
+    return *this;
+  }
+
   // --- construction --------------------------------------------------------
 
   /// Appends a layer (validated). Returns *this for chaining.

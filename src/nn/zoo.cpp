@@ -1,5 +1,8 @@
 #include "nn/zoo.hpp"
 
+#include <cmath>
+#include <cstdio>
+
 namespace hhpim::nn::zoo {
 
 namespace {
@@ -145,6 +148,26 @@ std::string known_model_names() {
   for (const Model& m : paper_models()) {
     if (!out.empty()) out += ", ";
     out += m.name();
+  }
+  return out;
+}
+
+std::vector<Model> width_variants(const Model& base, const std::vector<double>& scales) {
+  std::vector<Model> out;
+  for (const double scale : scales) {
+    const auto params = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(base.effective_params()) * scale));
+    const auto macs = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(base.effective_macs()) * scale));
+    if (params == 0 || macs == 0 || params > base.structural_params()) continue;
+    Model m = base;
+    m.calibrate(params, macs);
+    if (scale != 1.0) {
+      char suffix[32];
+      std::snprintf(suffix, sizeof suffix, "@x%.2f", scale);
+      m.rename(base.name() + suffix);
+    }
+    out.push_back(std::move(m));
   }
   return out;
 }

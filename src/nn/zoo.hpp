@@ -30,4 +30,16 @@ namespace hhpim::nn::zoo {
 /// Comma-separated list of the known model names (for CLI error messages).
 [[nodiscard]] std::string known_model_names();
 
+/// Width-variant ladder for placement-aware NAS sweeps: copies of `base`
+/// re-calibrated so the effective parameter/MAC totals scale by each factor,
+/// renamed "<name>@x<scale>" (scale 1.0 keeps the base name, so the identity
+/// point lines up with paper runs). The topology is unchanged — scaling rides
+/// entirely on the sparsity / MAC-calibration knobs, exactly how the paper
+/// itself maps pruned TinyML variants onto one structure. Factors whose
+/// parameter target exceeds the structural totals (sparsity would have to
+/// exceed 1) or rounds to zero are skipped, so the ladder may be shorter than
+/// `scales`.
+[[nodiscard]] std::vector<Model> width_variants(const Model& base,
+                                                const std::vector<double>& scales);
+
 }  // namespace hhpim::nn::zoo

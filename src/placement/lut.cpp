@@ -27,6 +27,85 @@ DpItem make_item(const SpaceCost& sc, std::uint64_t block_weights, Time t_step, 
   return item;
 }
 
+/// Turns a combine split at budget `t` back into a weight allocation —
+/// blocks scaled by the block size, with the rounding overshoot trimmed from
+/// the largest shares (fewer weights can only reduce time and energy). The
+/// legacy single-answer path and the frontier sweep share this so the
+/// t' = internal_steps frontier candidate IS the legacy allocation.
+Allocation reconstruct_alloc(const ClusterDpTable& hp, const ClusterDpTable& lp,
+                             const CombineResult& comb, int t, std::uint64_t block,
+                             std::uint64_t total_weights) {
+  const auto [hp_mram, hp_sram] = hp.split(t, comb.k_hp);
+  const auto [lp_mram, lp_sram] = lp.split(t, comb.k_lp);
+  Allocation a;
+  a[Space::kHpMram] = static_cast<std::uint64_t>(hp_mram) * block;
+  a[Space::kHpSram] = static_cast<std::uint64_t>(hp_sram) * block;
+  a[Space::kLpMram] = static_cast<std::uint64_t>(lp_mram) * block;
+  a[Space::kLpSram] = static_cast<std::uint64_t>(lp_sram) * block;
+  std::uint64_t excess = a.total() - total_weights;
+  while (excess > 0) {
+    Space largest = Space::kHpMram;
+    for (const Space sp : all_spaces()) {
+      if (a[sp] > a[largest]) largest = sp;
+    }
+    const std::uint64_t cut = std::min(excess, a[largest]);
+    a[largest] -= cut;
+    excess -= cut;
+  }
+  return a;
+}
+
+/// The frontier sweep: re-combine the entry's cluster tables at a
+/// deterministic grid of tighter budgets t' in [min feasible, internal_steps]
+/// — each yields the min-(linearized-)energy placement at that latency, one
+/// trade-off candidate per budget. The anchor (the legacy allocation, from
+/// t' = internal_steps) is kept unconditionally; other candidates survive
+/// only with strictly higher re-evaluated energy, so after dominance pruning
+/// the frontier's min-energy point is the legacy answer bit-exactly.
+std::vector<ParetoPoint> build_frontier(const CostModel& model, const ClusterDpTable& hp,
+                                        const ClusterDpTable& lp, int k_total,
+                                        int internal_steps, std::uint64_t block,
+                                        std::uint64_t total_weights, Time tc,
+                                        const ParetoPoint& anchor) {
+  // Feasibility is monotone in the budget, so the tightest feasible t' is a
+  // binary search over O(k_total)-cost combines.
+  int lo = 1;
+  int hi = internal_steps;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (combine_clusters(hp, lp, k_total, mid).feasible) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const int t_min = lo;
+
+  constexpr int kFrontierSamples = 16;
+  std::vector<ParetoPoint> candidates;
+  candidates.reserve(kFrontierSamples + 1);
+  candidates.push_back(anchor);
+  int prev_t = internal_steps;  // the anchor's budget — skip resampling it
+  for (int i = 0; i < kFrontierSamples; ++i) {
+    const int t = t_min + static_cast<int>(
+        static_cast<std::int64_t>(internal_steps - t_min) * i / (kFrontierSamples - 1));
+    if (t == prev_t) continue;
+    prev_t = t;
+    const CombineResult comb = combine_clusters(hp, lp, k_total, t);
+    if (!comb.feasible) continue;
+    const Allocation a = reconstruct_alloc(hp, lp, comb, t, block, total_weights);
+    const ParetoPoint p = evaluate_point(model, a, tc);
+    // The DP optimizes linearized energy; the quantized re-evaluation can
+    // rank a tighter-budget placement at or below the anchor. Those are
+    // dropped (unless they are the anchor's own allocation) to preserve the
+    // anchor-is-min-energy invariant the scheduler and tests rely on.
+    if (p.energy <= anchor.energy && !(a == anchor.alloc)) continue;
+    candidates.push_back(p);
+  }
+  prune_to_frontier(candidates);
+  return candidates;
+}
+
 }  // namespace
 
 AllocationLut AllocationLut::build(const CostModel& model, const LutParams& params) {
@@ -94,30 +173,17 @@ AllocationLut AllocationLut::build(const CostModel& model, const LutParams& para
     entry.t_constraint = tc;
     entry.feasible = comb.feasible;
     if (comb.feasible) {
-      const auto [hp_mram, hp_sram] = hp.split(internal_steps, comb.k_hp);
-      const auto [lp_mram, lp_sram] = lp.split(internal_steps, comb.k_lp);
-      Allocation a;
-      a[Space::kHpMram] = static_cast<std::uint64_t>(hp_mram) * block;
-      a[Space::kHpSram] = static_cast<std::uint64_t>(hp_sram) * block;
-      a[Space::kLpMram] = static_cast<std::uint64_t>(lp_mram) * block;
-      a[Space::kLpSram] = static_cast<std::uint64_t>(lp_sram) * block;
-      // Block rounding can overshoot K; trim the excess from the largest
-      // shares (fewer weights can only reduce time and energy).
-      std::uint64_t excess = a.total() - params.total_weights;
-      while (excess > 0) {
-        Space largest = Space::kHpMram;
-        for (const Space sp : all_spaces()) {
-          if (a[sp] > a[largest]) largest = sp;
-        }
-        const std::uint64_t cut = std::min(excess, a[largest]);
-        a[largest] -= cut;
-        excess -= cut;
-      }
+      const Allocation a =
+          reconstruct_alloc(hp, lp, comb, internal_steps, block, params.total_weights);
       entry.alloc = a;
       // Prediction uses the gating-quantized retention (what the hardware
       // pays); the DP itself optimizes the linearized form per Algorithm 1.
-      entry.predicted_task_energy =
-          task_dynamic_energy(model, a) + retention_energy_quantized(model, a, tc);
+      ParetoPoint anchor = evaluate_point(model, a, tc);
+      entry.predicted_task_energy = anchor.energy;
+      // The trade-off surface rides along on the already-built DP tables
+      // (~the cost of a few extra O(K) combines per entry).
+      entry.frontier = build_frontier(model, hp, lp, k_total, internal_steps, block,
+                                      params.total_weights, tc, anchor);
     }
     lut.entries_.push_back(entry);
   }

@@ -23,6 +23,7 @@
 #include "common/units.hpp"
 #include "placement/cost_model.hpp"
 #include "placement/knapsack.hpp"
+#include "placement/pareto.hpp"
 
 namespace hhpim::placement {
 
@@ -41,6 +42,11 @@ struct LutEntry {
   bool feasible = false;
   Allocation alloc;            ///< weights per space (sums to K when feasible)
   Energy predicted_task_energy;
+  /// Non-dominated (energy, latency, SRAM-pressure) trade-off points for this
+  /// t_constraint (pareto.hpp), built by re-combining the entry's cluster DP
+  /// tables at tighter time budgets. Empty iff infeasible; its strict
+  /// min-energy point is (`alloc`, `predicted_task_energy`) bit-exactly.
+  std::vector<ParetoPoint> frontier;
 };
 
 /// Immutable after build(); lookups are const and safe to share across

@@ -1,0 +1,77 @@
+#include "placement/pareto.hpp"
+
+#include <algorithm>
+
+namespace hhpim::placement {
+
+namespace {
+
+/// Deterministic total order: latency, energy, SRAM pressure, then the raw
+/// allocation arrays (distinct allocs can tie on all three objectives).
+bool point_less(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.latency != b.latency) return a.latency < b.latency;
+  if (a.energy != b.energy) return a.energy < b.energy;
+  if (a.sram_weights != b.sram_weights) return a.sram_weights < b.sram_weights;
+  return a.alloc.weights < b.alloc.weights;
+}
+
+}  // namespace
+
+ParetoPoint evaluate_point(const CostModel& model, const Allocation& a, Time window) {
+  ParetoPoint p;
+  p.alloc = a;
+  p.energy = task_dynamic_energy(model, a) + retention_energy_quantized(model, a, window);
+  p.latency = task_time(model, a);
+  p.sram_weights = a[Space::kHpSram] + a[Space::kLpSram];
+  return p;
+}
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.energy > b.energy || a.latency > b.latency || a.sram_weights > b.sram_weights) {
+    return false;
+  }
+  return a.energy < b.energy || a.latency < b.latency || a.sram_weights < b.sram_weights;
+}
+
+void prune_to_frontier(std::vector<ParetoPoint>& points) {
+  std::sort(points.begin(), points.end(), point_less);
+  std::vector<ParetoPoint> kept;
+  kept.reserve(points.size());
+  for (const ParetoPoint& p : points) {
+    // Objective-tied duplicates collapse to the sort-first representative.
+    if (!kept.empty() && kept.back().energy == p.energy &&
+        kept.back().latency == p.latency && kept.back().sram_weights == p.sram_weights) {
+      continue;
+    }
+    const bool dominated = std::any_of(points.begin(), points.end(),
+                                       [&](const ParetoPoint& q) { return dominates(q, p); });
+    if (!dominated) kept.push_back(p);
+  }
+  points = std::move(kept);
+}
+
+const ParetoPoint& min_latency_point(const std::vector<ParetoPoint>& frontier) {
+  return *std::min_element(frontier.begin(), frontier.end(), point_less);
+}
+
+const ParetoPoint& min_energy_point(const std::vector<ParetoPoint>& frontier) {
+  return *std::min_element(frontier.begin(), frontier.end(),
+                           [](const ParetoPoint& a, const ParetoPoint& b) {
+                             if (a.energy != b.energy) return a.energy < b.energy;
+                             return point_less(a, b);
+                           });
+}
+
+const ParetoPoint* best_within_slo(const std::vector<ParetoPoint>& frontier, Time slo) {
+  const ParetoPoint* best = nullptr;
+  for (const ParetoPoint& p : frontier) {
+    if (p.latency > slo) continue;
+    if (best == nullptr || p.energy < best->energy ||
+        (p.energy == best->energy && point_less(p, *best))) {
+      best = &p;
+    }
+  }
+  return best;
+}
+
+}  // namespace hhpim::placement

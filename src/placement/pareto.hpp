@@ -1,0 +1,70 @@
+// The (energy, latency, SRAM-pressure) Pareto frontier of one LUT entry.
+//
+// The knapsack DP (knapsack.hpp) answers "minimum energy within t_constraint"
+// — a single point. H3PIMAP-style multi-objective mapping wants the whole
+// trade-off surface: combining the same per-cluster DP tables at tighter time
+// budgets t' <= t_constraint yields, for each t', the min-energy placement at
+// that latency. Those candidates, pruned to the non-dominated set, form the
+// entry's frontier (lut.cpp builds it; this header owns the point type and
+// the dominance machinery so tests and the fleet policy share one
+// definition).
+//
+// Axes, in paper terms:
+//   * energy   — predicted task energy at the entry's t_constraint window
+//                (dynamic + gating-quantized retention, same formula as
+//                LutEntry::predicted_task_energy);
+//   * latency  — the exact task_time of the allocation (not the quantized
+//                DP budget), so frontier points are directly comparable to a
+//                latency SLO;
+//   * SRAM pressure — weights resident in HP-SRAM + LP-SRAM, the retention
+//                liability a battery-aware policy wants to shed.
+//
+// Invariant maintained by the builder: the frontier's strictly-minimum-energy
+// point is the legacy knapsack answer, bit-exact (candidates that would tie
+// or beat it on the quantized-energy re-evaluation are discarded unless they
+// ARE the legacy allocation). tests/test_pareto.cpp pins this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "placement/cost_model.hpp"
+
+namespace hhpim::placement {
+
+/// One non-dominated placement on the trade-off surface of a LUT entry.
+struct ParetoPoint {
+  Allocation alloc;
+  Energy energy;                   ///< predicted task energy (see header)
+  Time latency;                    ///< exact task_time(model, alloc)
+  std::uint64_t sram_weights = 0;  ///< alloc[HpSram] + alloc[LpSram]
+
+  [[nodiscard]] bool operator==(const ParetoPoint&) const = default;
+};
+
+/// Evaluates an allocation into a point. `window` is the entry's
+/// t_constraint — the wall-clock span retention is charged over.
+[[nodiscard]] ParetoPoint evaluate_point(const CostModel& model, const Allocation& a,
+                                         Time window);
+
+/// True iff `a` dominates `b`: no worse on all three axes and strictly
+/// better on at least one.
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Prunes `points` to its non-dominated subset in place, deduplicates exact
+/// objective ties, and sorts deterministically: latency ascending, then
+/// energy, then SRAM pressure, then the allocation arrays lexicographically.
+/// O(n^2) — n is a handful of budget samples per entry.
+void prune_to_frontier(std::vector<ParetoPoint>& points);
+
+// Selectors. Precondition: `frontier` non-empty. Ties resolve to the first
+// point in the deterministic sort order above.
+[[nodiscard]] const ParetoPoint& min_latency_point(const std::vector<ParetoPoint>& frontier);
+[[nodiscard]] const ParetoPoint& min_energy_point(const std::vector<ParetoPoint>& frontier);
+/// The minimum-energy point among those with latency <= `slo` (the SLO-aware
+/// policy's balanced pick); nullptr when even the fastest point misses it.
+[[nodiscard]] const ParetoPoint* best_within_slo(const std::vector<ParetoPoint>& frontier,
+                                                 Time slo);
+
+}  // namespace hhpim::placement

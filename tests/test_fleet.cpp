@@ -13,6 +13,7 @@
 #include <string>
 
 #include "energy/battery.hpp"
+#include "fleet/outcome_cache.hpp"
 #include "fleet/simulator.hpp"
 #include "hhpim/scheduler.hpp"
 #include "nn/zoo.hpp"
@@ -306,6 +307,229 @@ TEST(FleetSimulator, ShardFilesMatchInMemoryJsonl) {
     std::remove((dir + "/" + name).c_str());
   }
   EXPECT_EQ(concatenated, r.to_jsonl());
+}
+
+// --- SLO-aware frontier policy (docs/PARETO.md) ------------------------------
+
+/// small_fleet with a fleet-wide latency SLO at 60 % of the slice length —
+/// comfortably inside the LUT's feasible region at this resolution, so the
+/// frontier tiers resolve on every device.
+FleetSpec slo_fleet(int devices = 24, int slices = 6) {
+  FleetSpec spec = small_fleet(devices, slices);
+  spec.name = "slo-fleet";
+  const sys::Processor probe{Device::device_config(spec, nullptr), spec.models[0]};
+  spec.latency_slo = Time::ps(probe.slice_length().as_ps() * 3 / 5);
+  return spec;
+}
+
+TEST(SelectTier, ExactThresholdsMirrorThePolicy) {
+  const AdaptiveThresholds thr{.low_soc = 0.3, .high_soc = 0.5};
+  // kSaver rides the mode hysteresis, whatever the SoC says.
+  EXPECT_EQ(select_tier(DeviceMode::kLowPower, 0.9, thr), FrontierTier::kSaver);
+  EXPECT_EQ(select_tier(DeviceMode::kLowPower, 0.1, thr), FrontierTier::kSaver);
+  // Exactly at the high threshold buys performance (>=, like update()).
+  EXPECT_EQ(select_tier(DeviceMode::kDynamic, 0.50, thr), FrontierTier::kPerformance);
+  EXPECT_EQ(select_tier(DeviceMode::kDynamic, 0.499999, thr), FrontierTier::kBalanced);
+  EXPECT_EQ(select_tier(DeviceMode::kDynamic, 1.0, thr), FrontierTier::kPerformance);
+  EXPECT_EQ(select_tier(DeviceMode::kDynamic, 0.31, thr), FrontierTier::kBalanced);
+}
+
+TEST(FleetSpecSlo, DigestGuardAndValidation) {
+  const FleetSpec plain = small_fleet();
+  FleetSpec slo = small_fleet();
+  const std::uint64_t before = slo.content_digest();
+  EXPECT_EQ(before, plain.content_digest());
+
+  slo.latency_slo = Time::ms(5.0);
+  EXPECT_NE(slo.content_digest(), before);
+  slo.latency_slo = Time::zero();
+  // The SLO block is fully guarded: unsetting restores the pre-SLO digest,
+  // so old snapshots keep restoring onto SLO-capable builds.
+  EXPECT_EQ(slo.content_digest(), before);
+  slo.slo_overrides.push_back({.id = 0, .latency_slo = Time::ms(2.0)});
+  EXPECT_NE(slo.content_digest(), before);
+
+  FleetSpec bad = small_fleet();
+  bad.latency_slo = Time::ps(-1);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.latency_slo = Time::zero();
+  bad.slo_overrides = {{.id = 99, .latency_slo = Time::ms(1.0)}};  // id out of range
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  FleetSpec wrong_arch = small_fleet();
+  wrong_arch.adapt = false;
+  wrong_arch.config.arch = sys::ArchConfig::baseline();
+  wrong_arch.latency_slo = Time::ms(5.0);  // SLO needs the HH-PIM LUT
+  EXPECT_THROW(wrong_arch.validate(), std::invalid_argument);
+}
+
+TEST(FleetSpecSlo, ExpandAddsNoRngDrawsAndOverridesWin) {
+  const FleetSpec plain = small_fleet(16);
+  FleetSpec slo = small_fleet(16);
+  slo.latency_slo = Time::ms(4.0);
+  slo.slo_overrides.push_back({.id = 3, .latency_slo = Time::zero()});
+  slo.slo_overrides.push_back({.id = 5, .latency_slo = Time::ms(1.0)});
+
+  const auto a = plain.expand();
+  const auto b = slo.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // The SLO assignment must not disturb the seeded jitter draws: every
+    // other per-device field is byte-for-byte the no-SLO expansion.
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].model_index, b[i].model_index);
+    EXPECT_EQ(a[i].scenario, b[i].scenario);
+    EXPECT_EQ(a[i].phase, b[i].phase);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].join_slice, b[i].join_slice);
+    EXPECT_EQ(a[i].leave_slice, b[i].leave_slice);
+    EXPECT_EQ(a[i].latency_slo_ps, 0);
+    const std::int64_t expect = i == 3   ? 0
+                                : i == 5 ? Time::ms(1.0).as_ps()
+                                         : Time::ms(4.0).as_ps();
+    EXPECT_EQ(b[i].latency_slo_ps, expect) << i;
+  }
+}
+
+TEST(Device, SloTierFollowsSocAtExactThresholds) {
+  // Two identical devices either side of the high-SoC threshold pin
+  // different frontier points from slice one: performance (min latency) at
+  // exactly 0.50, balanced (the SLO anchor) just below.
+  FleetSpec at = slo_fleet(1, 4);
+  at.thresholds = {.low_soc = 0.3, .high_soc = 0.5};
+  at.battery.initial_soc = 0.5;
+  FleetSpec below = at;
+  below.battery.initial_soc = 0.499;
+
+  placement::LutCache cache;
+  auto at_specs = at.expand();
+  auto below_specs = below.expand();
+  at_specs[0].scenario = workload::Scenario::kLowConstant;
+  below_specs[0].scenario = workload::Scenario::kLowConstant;
+  Device d_at{at, at_specs[0], at.models[0], &cache};
+  Device d_below{below, below_specs[0], below.models[0], &cache};
+  const DeviceResult r_at = d_at.run(nullptr);
+  const DeviceResult r_below = d_below.run(nullptr);
+
+  EXPECT_EQ(r_at.latency_slo_ps, at.latency_slo.as_ps());
+  // Different tiers -> different pinned allocations -> observably different
+  // runs (busy time and drained energy both move; the direction mixes the
+  // steady-state gap with the first slice's one-off weight movement, so only
+  // the difference itself is pinned — the threshold semantics are unit-tested
+  // in SelectTier above).
+  EXPECT_NE(r_at.busy_time_ps, r_below.busy_time_ps);
+  EXPECT_NE(r_at.energy_pj, r_below.energy_pj);
+}
+
+TEST(Device, SloTierSwitchesAsTheBatteryDrains) {
+  // Start just above the high threshold: the device opens in kPerformance
+  // and any realistic per-slice drain (a few mJ against the 250 mJ default
+  // battery) crosses 0.5 within a few slices, dropping it to kBalanced — at
+  // least one tier switch, counted separately from mode switches, with no
+  // exhaustion risk.
+  FleetSpec spec = slo_fleet(1, 8);
+  spec.battery.initial_soc = 0.55;
+  auto specs = spec.expand();
+  specs[0].scenario = workload::Scenario::kHighConstant;
+  placement::LutCache cache;
+  Device dev{spec, specs[0], spec.models[0], &cache};
+  const DeviceResult r = dev.run(nullptr);
+  EXPECT_GE(r.tier_switches, 1u);
+  EXPECT_GT(r.latency_slo_ps, 0);
+}
+
+TEST(FleetSimulator, SloByteIdenticalAcrossThreadsAndMemo) {
+  // Mixed population: fleet-wide SLO with a few opted-out devices, so memo
+  // keys for SLO and no-SLO lanes coexist in one cache.
+  FleetSpec spec = slo_fleet(24, 6);
+  spec.slo_overrides.push_back({.id = 2, .latency_slo = Time::zero()});
+  spec.slo_overrides.push_back({.id = 7, .latency_slo = Time::zero()});
+
+  placement::LutCache c1, c8, cm1, cm8;
+  OutcomeCache m1, m8;
+  const FleetResult r1 =
+      FleetSimulator{{.threads = 1, .shard_size = 4, .lut_cache = &c1}}.run(spec);
+  const FleetResult r8 =
+      FleetSimulator{{.threads = 8, .shard_size = 4, .lut_cache = &c8}}.run(spec);
+  FleetOptions memo1;
+  memo1.threads = 1;
+  memo1.shard_size = 4;
+  memo1.lut_cache = &cm1;
+  memo1.memoize_devices = true;
+  memo1.outcome_cache = &m1;
+  FleetOptions memo8 = memo1;
+  memo8.threads = 8;
+  memo8.lut_cache = &cm8;
+  memo8.outcome_cache = &m8;
+  const FleetResult rm1 = FleetSimulator{memo1}.run(spec);
+  const FleetResult rm8 = FleetSimulator{memo8}.run(spec);
+
+  EXPECT_EQ(r1.to_jsonl(), r8.to_jsonl());
+  EXPECT_EQ(r1.to_jsonl(), rm1.to_jsonl());
+  EXPECT_EQ(r1.to_jsonl(), rm8.to_jsonl());
+  EXPECT_EQ(r1.summary_to_json(), r8.summary_to_json());
+  EXPECT_EQ(r1.summary_to_json(), rm1.summary_to_json());
+  EXPECT_EQ(r1.summary_to_json(), rm8.summary_to_json());
+}
+
+TEST(FleetSimulator, SloFieldsAppearOnlyWhenSet) {
+  placement::LutCache plain_cache, slo_cache;
+  const FleetResult plain = FleetSimulator{{.threads = 1, .lut_cache = &plain_cache}}
+                                .run(small_fleet(6, 4));
+  const FleetResult slo =
+      FleetSimulator{{.threads = 1, .lut_cache = &slo_cache}}.run(slo_fleet(6, 4));
+  // No-SLO JSONL carries no SLO fields at all — the schema (and the bytes)
+  // are exactly the pre-SLO ones.
+  EXPECT_EQ(plain.to_jsonl().find("latency_slo_ps"), std::string::npos);
+  EXPECT_EQ(plain.to_jsonl().find("tier_switches"), std::string::npos);
+  EXPECT_NE(slo.to_jsonl().find("latency_slo_ps"), std::string::npos);
+  EXPECT_NE(slo.to_jsonl().find("tier_switches"), std::string::npos);
+}
+
+TEST(FleetSimulator, SloSnapshotRoundTripsByteIdentically) {
+  const FleetSpec spec = slo_fleet(12, 8);
+  placement::LutCache whole_cache, seg_cache;
+  const FleetResult whole =
+      FleetSimulator{{.threads = 1, .shard_size = 5, .lut_cache = &whole_cache}}
+          .run(spec);
+  const FleetSimulator seg{{.threads = 1, .shard_size = 5, .lut_cache = &seg_cache}};
+  FleetSnapshot snap = seg.run_to(spec, 3);
+  // Round-trip through the binary format: the kTagSlo lane must survive.
+  snap = FleetSnapshot::from_bytes(snap.to_bytes());
+  const FleetResult resumed = seg.resume(spec, snap);
+  EXPECT_EQ(whole.to_jsonl(), resumed.to_jsonl());
+  EXPECT_EQ(whole.summary_to_json(), resumed.summary_to_json());
+}
+
+TEST(OutcomeCacheSlo, DifferentSlosNeverShareAMemoBucket) {
+  // Two devices in identical processor states but with different SLOs (or
+  // different tiers at the same SLO) must never replay each other's slices:
+  // the first slice's `pre` digest predates the tier override install, so
+  // only the key separates them.
+  OutcomeCache cache;
+  SliceOutcomeKey base{};
+  base.reuse_key = 7;
+  base.state = 42;
+  base.slo_ps = 1'000'000;
+  base.n_tasks = 3;
+  base.mode = 0;
+  base.tier = 0;
+  std::vector<std::pair<SliceOutcomeKey, SliceOutcome>> batch;
+  batch.push_back({base, SliceOutcome{100.0, 5, 2, 99, false}});
+  cache.insert_batch(batch);
+  ASSERT_NE(cache.lookup(base), nullptr);
+
+  SliceOutcomeKey other_slo = base;
+  other_slo.slo_ps = 2'000'000;
+  SliceOutcomeKey no_slo = base;
+  no_slo.slo_ps = 0;
+  SliceOutcomeKey other_tier = base;
+  other_tier.tier = static_cast<std::uint8_t>(FrontierTier::kPerformance);
+  EXPECT_NE(base, other_slo);
+  EXPECT_NE(base, no_slo);
+  EXPECT_NE(base, other_tier);
+  EXPECT_EQ(cache.lookup(other_slo), nullptr);
+  EXPECT_EQ(cache.lookup(no_slo), nullptr);
+  EXPECT_EQ(cache.lookup(other_tier), nullptr);
 }
 
 TEST(FleetSimulator, AggregateCountsAreConsistent) {
