@@ -1,19 +1,33 @@
 // Host-core demo: assembles a small RISC-V driver program that submits PIM
 // instructions through the memory-mapped instruction-queue port (the paper's
-// Rocket-over-AXI path), runs it on the RV32IM ISS, and reports what the PIM
-// cluster did.
+// Rocket-over-AXI path), runs it on the decoded-block engine
+// (riscv::BlockEngine — the same core the host-in-the-loop fleet path uses),
+// and reports what the PIM cluster did.
+//
+//   --engine=interp   run on the one-instruction-at-a-time riscv::Cpu instead
+//   --iters=N         checksum-loop iterations in the driver (default 200000)
+//   --stats           print block-cache counters and MIPS
+#include <chrono>
 #include <cstdio>
+#include <string>
 
+#include "common/cli.hpp"
 #include "isa/assembler.hpp"
 #include "isa/instruction.hpp"
 #include "pim/cluster.hpp"
 #include "riscv/bus.hpp"
 #include "riscv/cpu.hpp"
+#include "riscv/engine.hpp"
 #include "riscv/rv_asm.hpp"
 
 using namespace hhpim;
 
-int main() {
+int main(int argc, char** argv) {
+  const Cli cli{argc, argv};
+  const bool use_interp = cli.get("engine", "blocks") == "interp";
+  const long iters = static_cast<long>(cli.get_int("iters", 200'000));
+  const bool want_stats = cli.has("stats");
+
   energy::EnergyLedger ledger;
   const auto spec = energy::PowerSpec::paper_45nm();
   pim::Cluster cluster{
@@ -46,7 +60,8 @@ int main() {
   bus.map(0x1000'0000, 0x100, &console);
   bus.map(0x4000'0000, 0x100, &port);
 
-  // The driver program: announce itself on the console, push a
+  // The driver program: announce itself on the console, hash a descriptor
+  // checksum (the busy loop that makes --stats interesting), push a
   // power-up + two MAC bursts + halt sequence, ring the doorbell.
   const std::uint32_t pwron = isa::encode(isa::make_power(0x0f, isa::MemSel::kSram, true));
   const std::uint32_t mac_sram = isa::encode(isa::make_mac(0x0f, isa::MemSel::kSram, 4096));
@@ -62,6 +77,16 @@ int main() {
       sb t0, 0(s0)
       li t0, 77           # 'M'
       sb t0, 0(s0)
+      # descriptor checksum loop: a1 = iteration count
+      li t0, 0
+      li t1, 0x12345
+    hash:
+      slli t2, t1, 5
+      srli t3, t1, 7
+      xor  t1, t2, t3
+      add  t1, t1, t0
+      addi t0, t0, 1
+      blt  t0, a1, hash
       li t1, )" + std::to_string(pwron) + R"(
       sw t1, 0(s1)
       li t1, )" + std::to_string(mac_sram) + R"(
@@ -87,10 +112,41 @@ int main() {
   }
 
   riscv::Cpu cpu{&bus};
-  const auto retired = cpu.run();
-  std::printf("\ncore: %llu instructions retired, console: \"%s\", status=0x%x\n",
+  riscv::BlockEngine engine{&bus};
+  if (use_interp) {
+    cpu.set_reg(11, static_cast<std::uint32_t>(iters));  // a1
+  } else {
+    engine.set_reg(11, static_cast<std::uint32_t>(iters));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t retired =
+      use_interp ? cpu.run(~std::uint64_t{0}) : engine.run(~std::uint64_t{0});
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  const std::uint32_t status = use_interp ? cpu.reg(10) : engine.reg(10);
+
+  std::printf("\ncore (%s): %llu instructions retired, console: \"%s\", status=0x%x\n",
+              use_interp ? "interp" : "block engine",
               static_cast<unsigned long long>(retired), console.output().c_str(),
-              cpu.reg(10));
+              status);
+  if (want_stats) {
+    const double mips = wall_ms > 0.0
+                            ? static_cast<double>(retired) / (wall_ms * 1e3)
+                            : 0.0;
+    std::printf("stats: %.2f ms, %.1f MIPS\n", wall_ms, mips);
+    if (!use_interp) {
+      const riscv::EngineStats& s = engine.stats();
+      std::printf(
+          "stats: %llu blocks compiled, %llu block hits, %llu invalidations, "
+          "%llu cycles (CycleModel)\n",
+          static_cast<unsigned long long>(s.blocks_compiled),
+          static_cast<unsigned long long>(s.block_hits),
+          static_cast<unsigned long long>(s.invalidations),
+          static_cast<unsigned long long>(engine.cycles()));
+    }
+  }
   for (std::size_t i = 0; i < cluster.module_count(); ++i) {
     std::printf("module %zu: %llu MACs, busy until %s\n", i,
                 static_cast<unsigned long long>(cluster.module(i).total_macs()),

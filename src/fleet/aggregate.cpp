@@ -24,6 +24,7 @@ void FleetAggregate::add_device(const DeviceResult& r) {
   if (r.exhausted_at_slice >= 0) ++exhausted_devices;
   mode_switches += r.mode_switches;
   low_power_slices += static_cast<std::uint64_t>(r.low_power_slices);
+  host_cycles += r.host_cycles;
   device_energy_mj.add(r.energy_pj * 1e-9);
   final_soc.add(r.final_soc);
 }
@@ -37,6 +38,7 @@ void FleetAggregate::merge(const FleetAggregate& o) {
   exhausted_devices += o.exhausted_devices;
   mode_switches += o.mode_switches;
   low_power_slices += o.low_power_slices;
+  host_cycles += o.host_cycles;
   device_energy_mj.merge(o.device_energy_mj);
   final_soc.merge(o.final_soc);
   busy_us.merge(o.busy_us);

@@ -50,6 +50,7 @@ class FleetAggregate {
   std::uint64_t exhausted_devices = 0;
   std::uint64_t mode_switches = 0;
   std::uint64_t low_power_slices = 0;
+  std::uint64_t host_cycles = 0;          ///< RISC-V host cycles (0 = no host)
 
   // --- distributions --------------------------------------------------------
   sim::Summary device_energy_mj;  ///< per-device total energy, millijoules

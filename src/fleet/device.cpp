@@ -211,7 +211,8 @@ bool Device::run_steps(DeviceProgress& p, const std::vector<int>& loads,
                            slo_active() ? static_cast<std::uint8_t>(tier)
                                         : std::uint8_t{0}},
            SliceOutcome{requested.as_pj(), s.busy_time.as_ps(),
-                        s.movement_time.as_ps(), post, s.deadline_violated}});
+                        s.movement_time.as_ps(), post, s.host_cycles,
+                        s.deadline_violated}});
       pre = post;
     }
 
@@ -222,6 +223,7 @@ bool Device::run_steps(DeviceProgress& p, const std::vector<int>& loads,
     r.busy_time_ps += s.busy_time.as_ps();
     r.max_busy_ps = std::max(r.max_busy_ps, s.busy_time.as_ps());
     r.movement_time_ps += s.movement_time.as_ps();
+    r.host_cycles += s.host_cycles;
     if (mode == DeviceMode::kLowPower) ++r.low_power_slices;
     if (agg != nullptr) {
       agg->add_slice(s.busy_time / slice, s.busy_time.as_us(), s.energy.as_mj());

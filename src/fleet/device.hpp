@@ -77,6 +77,10 @@ struct DeviceResult {
   // no SLO — docs/PARETO.md).
   std::int64_t latency_slo_ps = 0;     ///< DeviceSpec::latency_slo_ps echo
   std::uint32_t tier_switches = 0;     ///< frontier-tier transitions
+
+  /// RISC-V host cycles retired across all slices (zero / absent from JSONL
+  /// unless the firmware enables SystemConfig::host — docs/RISCV.md).
+  std::uint64_t host_cycles = 0;
 };
 
 /// One device's resumable mid-run state — what a FleetSnapshot stores per

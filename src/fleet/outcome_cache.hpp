@@ -88,7 +88,8 @@ struct SliceOutcome {
   double energy_pj = 0.0;
   std::int64_t busy_ps = 0;
   std::int64_t movement_ps = 0;
-  std::uint64_t post_state = 0;  ///< state_digest() after the slice
+  std::uint64_t post_state = 0;   ///< state_digest() after the slice
+  std::uint64_t host_cycles = 0;  ///< host-core cycles (0 when host disabled)
   bool deadline_violated = false;
 };
 

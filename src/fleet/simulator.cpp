@@ -74,6 +74,12 @@ void write_device_line(std::ostream& os, const DeviceResult& r,
   w.field("busy_time_ps", r.busy_time_ps);
   w.field("max_busy_ps", r.max_busy_ps);
   w.field("movement_time_ps", r.movement_time_ps);
+  if (r.host_cycles > 0) {
+    // Appended only when the firmware co-simulates the RISC-V host, so
+    // host-off fleets keep the pre-host line layout byte for byte
+    // (pinned by tests/test_host_loop.cpp).
+    w.field("host_cycles", r.host_cycles);
+  }
   if (r.latency_slo_ps > 0) {
     // Appended only for SLO devices so no-SLO fleets keep the pre-SLO line
     // layout byte for byte (pinned by tests/test_fleet.cpp).
@@ -132,6 +138,10 @@ void FleetResult::write_summary_json(std::ostream& os) const {
   w.field("exhausted_devices", aggregate.exhausted_devices);
   w.field("mode_switches", aggregate.mode_switches);
   w.field("low_power_slices", aggregate.low_power_slices);
+  if (aggregate.host_cycles > 0) {
+    // Host-off fleets keep the pre-host summary layout byte for byte.
+    w.field("host_cycles", aggregate.host_cycles);
+  }
   w.field("lut_builds", lut_builds);
   w.field("lut_shared", lut_shared);
   w.key("device_energy_mj");
@@ -331,6 +341,7 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
     std::vector<std::int64_t> busy_ps;
     std::vector<std::int64_t> max_busy_ps;
     std::vector<std::int64_t> movement_ps;
+    std::vector<std::uint64_t> host_cycles;
     std::vector<std::uint64_t> tasks;
     std::vector<std::uint64_t> deadline_violations;
     std::vector<std::int32_t> low_power;
@@ -390,6 +401,7 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
       scratch.busy_ps.assign(count, 0);
       scratch.max_busy_ps.assign(count, 0);
       scratch.movement_ps.assign(count, 0);
+      scratch.host_cycles.assign(count, 0);
       scratch.tasks.assign(count, 0);
       scratch.deadline_violations.assign(count, 0);
       scratch.low_power.assign(count, 0);
@@ -477,6 +489,7 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
           scratch.busy_ps[i] += out->busy_ps;
           scratch.max_busy_ps[i] = std::max(scratch.max_busy_ps[i], out->busy_ps);
           scratch.movement_ps[i] += out->movement_ps;
+          scratch.host_cycles[i] += out->host_cycles;
           if (scratch.mode[i] == k_low_power) ++scratch.low_power[i];
           scratch.sample_busy_ps[i * total_slices + k] = out->busy_ps;
           scratch.sample_energy_pj[i * total_slices + k] = out->energy_pj;
@@ -523,6 +536,7 @@ FleetResult FleetSimulator::run(const FleetSpec& spec) const {
           r.busy_time_ps = scratch.busy_ps[i];
           r.max_busy_ps = scratch.max_busy_ps[i];
           r.movement_time_ps = scratch.movement_ps[i];
+          r.host_cycles = scratch.host_cycles[i];
           r.latency_slo_ps = ds.latency_slo_ps;
           r.tier_switches = scratch.tier_switches[i];
           for (std::size_t k = 0; k < dev_steps; ++k) {

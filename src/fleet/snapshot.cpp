@@ -31,6 +31,9 @@ enum : std::uint16_t {
   /// within this build; older readers fail loudly on it, which is the
   /// intended behavior for a snapshot that genuinely needs the SLO fields).
   kTagSlo = 7,
+  /// RISC-V host cycle counter — written only when non-zero, so host-off
+  /// snapshots stay byte-identical to pre-host builds (docs/RISCV.md).
+  kTagHost = 8,
 };
 
 /// FNV-1a over a byte run, 8 bytes per step (little-endian packed, zero
@@ -101,6 +104,10 @@ void write_device(ByteWriter& w, const DeviceProgress& p) {
     w.u32(p.result.tier_switches);
     w.u8(p.tier);
   }
+  if (p.result.host_cycles != 0) {
+    w.u16(kTagHost);
+    w.u64(p.result.host_cycles);
+  }
   w.u16(kTagDeviceEnd);
 }
 
@@ -162,6 +169,9 @@ DeviceProgress read_device(ByteReader& r) {
         p.result.latency_slo_ps = r.i64();
         p.result.tier_switches = r.u32();
         p.tier = r.u8();
+        break;
+      case kTagHost:
+        p.result.host_cycles = r.u64();
         break;
       case kTagDeviceEnd:
         return p;

@@ -8,6 +8,7 @@
 #include "common/hash.hpp"
 #include "common/serialize.hpp"
 #include "placement/lut_cache.hpp"
+#include "riscv/rv_asm.hpp"
 
 namespace hhpim::sys {
 
@@ -40,7 +41,66 @@ Time slice_from_cost(const placement::CostModel& cost, std::uint64_t weights,
   return peak * static_cast<std::int64_t>(max_inferences_per_slice) * 1.01;
 }
 
+/// FNV-1a over a byte run, 8 bytes per step (length hashed first so a zero
+/// tail cannot collide) — the host program text and host RAM digests.
+void add_bytes(Fnv1a& h, const std::uint8_t* bytes, std::size_t size) {
+  h.add(static_cast<std::uint64_t>(size));
+  for (std::size_t i = 0; i < size; i += 8) {
+    std::uint64_t chunk = 0;
+    const std::size_t n = size - i < 8 ? size - i : 8;
+    for (std::size_t j = 0; j < n; ++j) {
+      chunk |= static_cast<std::uint64_t>(bytes[i + j]) << (8 * j);
+    }
+    h.add(chunk);
+  }
+}
+
 }  // namespace
+
+std::string default_host_program() {
+  // Per-slice scheduler: a0 = n_tasks on entry. Persistent state lives at
+  // 0x800 (last slice's load) and 0x804 (descriptor digest) — a pure
+  // function of (previous state, n_tasks), which is exactly the contract
+  // Processor::state_digest() needs for memo replay to stay exact.
+  return R"(
+        li   s0, 0x800        # persistent scheduler state base
+        lw   s1, 0(s0)        # tasks dispatched last slice
+        li   t0, 0            # task index
+        li   t1, 0            # descriptor accumulator
+loop:
+        beq  t0, a0, done
+        # per-task dispatch bookkeeping: fold the task index and last
+        # slice's load into a descriptor word (queue address arithmetic)
+        mul  t2, t0, s1
+        slli t3, t0, 2
+        add  t2, t2, t3
+        xor  t1, t1, t2
+        addi t0, t0, 1
+        j    loop
+done:
+        sw   a0, 0(s0)        # remember this slice's load
+        sw   t1, 4(s0)        # and the dispatch digest
+        ecall
+)";
+}
+
+/// Host co-simulation state. `image` is the full initial RAM content so
+/// reset() restores construction state exactly; the engine's block cache is
+/// cleared whenever RAM is rewritten behind the Bus (reset, load_state).
+struct Processor::HostState {
+  riscv::Ram ram;
+  riscv::Bus bus;
+  riscv::BlockEngine engine;
+  std::vector<std::uint8_t> image;
+  energy::ComponentId component;
+  Power active_power = Power::mw(0.0);
+  Time cycle_period = Time::zero();
+
+  HostState(std::uint32_t ram_bytes, riscv::CycleModel cycles)
+      : ram(ram_bytes), engine(&bus, 0, cycles) {
+    bus.map(0, ram_bytes, &ram);
+  }
+};
 
 Time derived_slice_length(const SystemConfig& config, const nn::Model& model) {
   if (config.slice > Time::zero()) return config.slice;
@@ -147,7 +207,43 @@ Processor::Processor(const SystemConfig& config, const nn::Model& model)
   // charged, matching the paper's steady-state measurements.
   current_ = policy_->initial();
   apply_residency(current_);
+
+  if (config_.host.enabled) {
+    const HostConfig& hc = config_.host;
+    if (hc.ram_bytes < 64 || (hc.ram_bytes & 3u) != 0) {
+      throw std::invalid_argument("host: ram_bytes must be >= 64 and 4-aligned");
+    }
+    host_ = std::make_unique<HostState>(hc.ram_bytes, hc.cycles);
+    const std::string source =
+        hc.program.empty() ? default_host_program() : hc.program;
+    const riscv::RvAsmResult assembled = riscv::assemble_rv32(source, 0);
+    if (const auto* err = std::get_if<riscv::RvAsmError>(&assembled)) {
+      throw std::invalid_argument("host program, line " +
+                                  std::to_string(err->line) + ": " +
+                                  err->message);
+    }
+    const auto& words = std::get<std::vector<std::uint32_t>>(assembled);
+    if (words.size() * 4 > hc.ram_bytes) {
+      throw std::invalid_argument("host program does not fit in host RAM");
+    }
+    host_->image.assign(hc.ram_bytes, 0);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      for (unsigned b = 0; b < 4; ++b) {
+        host_->image[i * 4 + b] =
+            static_cast<std::uint8_t>(words[i] >> (8 * b));
+      }
+    }
+    host_->ram.load_image(0, host_->image.data(), host_->image.size());
+    host_->component = ledger_.register_component("host");
+    host_->active_power = spec_.hp.pe.dynamic * hc.power_scale;
+    host_->cycle_period = Frequency::ghz(hc.clock_ghz).period();
+    if (host_->cycle_period <= Time::zero()) {
+      throw std::invalid_argument("host: clock_ghz must be positive");
+    }
+  }
 }
+
+Processor::~Processor() = default;
 
 const placement::AllocationLut* Processor::lut() const { return lut_view_; }
 
@@ -445,6 +541,12 @@ SliceStats Processor::run_slice(int n_tasks) {
 
   cursor = run_tasks_batched(cursor, n_tasks);
 
+  // The host scheduler runs once per slice, inside the ledger window so its
+  // energy lands in this slice's bits (always after the task batch and
+  // before settle — the window sum order is part of the byte contract).
+  const std::uint64_t host_cycles =
+      host_ != nullptr ? run_host_slice(n_tasks) : 0;
+
   SliceStats stats;
   stats.slice = slice_index_++;
   stats.tasks_executed = n_tasks;
@@ -452,6 +554,7 @@ SliceStats Processor::run_slice(int n_tasks) {
   stats.movement_time = d.movement_time;
   stats.busy_time = cursor - slice_start;
   stats.deadline_violated = cursor > slice_end;
+  stats.host_cycles = host_cycles;
 
   // The slice boundary: close leakage windows so the slice's energy is
   // attributed to it, then advance the clock.
@@ -460,6 +563,29 @@ SliceStats Processor::run_slice(int n_tasks) {
   if (lp_.has_value()) lp_->settle(now_);
   stats.energy = ledger_.window_total();
   return stats;
+}
+
+std::uint64_t Processor::run_host_slice(int n_tasks) {
+  riscv::BlockEngine& e = host_->engine;
+  const std::uint64_t before = e.cycles();
+  // Fresh register file each slice (persistent scheduler state lives in host
+  // RAM, never in registers): sp at the top of RAM, a0 carries the load.
+  for (unsigned i = 1; i < 32; ++i) e.set_reg(i, 0);
+  e.set_reg(2, static_cast<std::uint32_t>(host_->ram.size()));
+  e.set_reg(10, static_cast<std::uint32_t>(n_tasks));
+  e.resume(0);
+  e.run(config_.host.max_steps_per_slice);
+  if (e.halt_reason() != riscv::HaltReason::kEcall) {
+    throw std::runtime_error(
+        std::string("host scheduler halted with ") +
+        riscv::to_string(e.halt_reason()) + " at pc 0x" +
+        std::to_string(e.pc()) + " (expected ecall)");
+  }
+  const std::uint64_t cycles = e.cycles() - before;
+  ledger_.add(host_->component, energy::Activity::kControl,
+              host_->active_power *
+                  (host_->cycle_period * static_cast<std::int64_t>(cycles)));
+  return cycles;
 }
 
 RunStats Processor::run_scenario(const std::vector<int>& loads) {
@@ -501,6 +627,13 @@ void Processor::reset() {
   // convention; see the constructor).
   current_ = policy_->initial();
   apply_residency(current_);
+  if (host_ != nullptr) {
+    // Restore the initial RAM image and drop compiled blocks: the rewrite
+    // bypasses the Bus, so the engine cannot see it. Registers need no
+    // reset — run_host_slice re-arms them every slice.
+    host_->ram.load_image(0, host_->image.data(), host_->image.size());
+    host_->engine.clear_cache();
+  }
 }
 
 std::uint64_t Processor::state_digest() const {
@@ -515,6 +648,12 @@ std::uint64_t Processor::state_digest() const {
   h.add(lp_.has_value() ? 1 : 0);
   if (lp_.has_value()) lp_->add_state(h, now_);
   xfer_->add_state(h, now_);
+  // Host RAM is the scheduler's persistent state (registers are re-armed
+  // per slice, the block cache is wall-clock-only). Folded only when the
+  // host exists so feature-off digests match pre-feature builds bit-exactly.
+  if (host_ != nullptr) {
+    add_bytes(h, host_->ram.data(), host_->ram.size());
+  }
   return h.digest();
 }
 
@@ -530,6 +669,13 @@ void Processor::save_state(ByteWriter& w) const {
   w.u8(lp_.has_value() ? 1 : 0);
   if (lp_.has_value()) lp_->save_state(w, now_);
   xfer_->save_state(w, now_);
+  // Written only when the host exists: load_state requires an identical
+  // reuse key, so writer and reader agree on the host's presence, and
+  // feature-off blobs stay byte-identical to pre-feature builds.
+  if (host_ != nullptr) {
+    w.blob(std::string_view(reinterpret_cast<const char*>(host_->ram.data()),
+                            host_->ram.size()));
+  }
 }
 
 void Processor::load_state(ByteReader& r) {
@@ -551,6 +697,15 @@ void Processor::load_state(ByteReader& r) {
   }
   if (lp_.has_value()) lp_->load_state(r);
   xfer_->load_state(r);
+  if (host_ != nullptr) {
+    const std::string_view bytes = r.blob();
+    if (bytes.size() != host_->ram.size()) {
+      throw std::runtime_error("snapshot: host RAM shape mismatch");
+    }
+    host_->ram.load_image(
+        0, reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    host_->engine.clear_cache();
+  }
   // The restored component times are relative to the snapshot's slice
   // boundary; the clock rebases to zero (save_state stored them that way).
   // The decision memo stays cold — decisions are pure.
@@ -598,6 +753,29 @@ std::uint64_t processor_reuse_key(const SystemConfig& config,
       .add(config.movement.energy_per_byte.as_pj())
       .add(static_cast<std::uint64_t>(config.batched_execution ? 1 : 0))
       .add(static_cast<std::uint64_t>(config.memoize_decisions ? 1 : 0));
+  // Host fields fold in only when the host is enabled, so feature-off keys
+  // (and everything derived from them — FleetSpec::content_digest, snapshot
+  // compatibility) are unchanged from pre-feature builds.
+  if (config.host.enabled) {
+    const HostConfig& hc = config.host;
+    const std::string source =
+        hc.program.empty() ? default_host_program() : hc.program;
+    h.add(static_cast<std::uint64_t>(0x74736f68u));  // "host" marker
+    add_bytes(h, reinterpret_cast<const std::uint8_t*>(source.data()),
+              source.size());
+    h.add(static_cast<std::uint64_t>(hc.ram_bytes))
+        .add(hc.clock_ghz)
+        .add(hc.power_scale)
+        .add(static_cast<std::uint64_t>(hc.cycles.alu))
+        .add(static_cast<std::uint64_t>(hc.cycles.mul))
+        .add(static_cast<std::uint64_t>(hc.cycles.div))
+        .add(static_cast<std::uint64_t>(hc.cycles.load))
+        .add(static_cast<std::uint64_t>(hc.cycles.store))
+        .add(static_cast<std::uint64_t>(hc.cycles.branch))
+        .add(static_cast<std::uint64_t>(hc.cycles.jump))
+        .add(static_cast<std::uint64_t>(hc.cycles.system))
+        .add(hc.max_steps_per_slice);
+  }
   return h.digest();
 }
 

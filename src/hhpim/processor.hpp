@@ -27,6 +27,7 @@
 #include "pim/data_allocator.hpp"
 #include "placement/cost_model.hpp"
 #include "placement/lut.hpp"
+#include "riscv/engine.hpp"
 #include "workload/task.hpp"
 
 namespace hhpim {
@@ -39,6 +40,46 @@ class LutCache;  // placement/lut_cache.hpp — only a pointer is stored here
 }
 
 namespace hhpim::sys {
+
+/// Feature-gated host-core co-simulation (docs/RISCV.md "Host in the loop").
+///
+/// When enabled, the Processor owns an RV32IM `riscv::BlockEngine` running a
+/// per-slice scheduler binary (the paper's Rocket host role): each run_slice
+/// re-enters the program at pc 0 with a0 = n_tasks and sp at the top of host
+/// RAM, runs it to ECALL, and posts the retired cycles as host energy into
+/// the EnergyLedger. Host RAM persists across slices (scheduler state), is
+/// folded into state_digest()/save_state(), and rides the processor reuse
+/// key — so the fleet's outcome memo and snapshots stay exact. When disabled
+/// (the default) every digest, snapshot and output byte is identical to a
+/// build without the feature.
+struct HostConfig {
+  bool enabled = false;
+  /// rv_asm source of the scheduler program; empty = the built-in default
+  /// (default_host_program()). Must halt with ECALL; any other halt reason
+  /// throws std::runtime_error from run_slice (a wedged host is a bug, not
+  /// a statistic). Assembled once at construction; assembly errors throw
+  /// std::invalid_argument.
+  std::string program;
+  /// Host RAM size in bytes (program + stack + persistent scheduler state).
+  std::uint32_t ram_bytes = 4096;
+  /// Host core clock: cycles convert to time as cycles * period.
+  double clock_ghz = 1.0;
+  /// Host active power while retiring, as a multiple of the resolved HP PE
+  /// dynamic power — PowerSpec-derived, so design-space sweeps scale the
+  /// host with the hardware around it.
+  double power_scale = 2.0;
+  /// Per-op-class retired-cycle costs.
+  riscv::CycleModel cycles{};
+  /// Step budget per slice; exceeding it throws (runaway host program).
+  std::uint64_t max_steps_per_slice = 1'000'000;
+};
+
+/// The built-in per-slice scheduler: walks the task queue (a0 = n_tasks)
+/// doing per-task dispatch arithmetic, persists (last load, descriptor
+/// digest) to host RAM at 0x800, and halts with ECALL. Steady-state loads
+/// reach a fixed host RAM state after one slice, so the fleet outcome memo
+/// keeps hitting with the host enabled.
+[[nodiscard]] std::string default_host_program();
 
 struct SystemConfig {
   ArchConfig arch = ArchConfig::hhpim();
@@ -76,6 +117,8 @@ struct SystemConfig {
   /// scheduler.hpp), so repeated slice states skip the LUT probe and
   /// movement planning. Byte-identical results; off for A/B benches.
   bool memoize_decisions = true;
+  /// RISC-V host co-simulation (off by default; see HostConfig).
+  HostConfig host{};
 };
 
 /// Per-slice measurement record.
@@ -87,6 +130,11 @@ struct SliceStats {
   Time busy_time;              ///< from slice start to last task completion
   Energy energy;               ///< everything charged during this slice
   bool deadline_violated = false;
+  /// Host-core cycles retired this slice (0 unless SystemConfig::host is
+  /// enabled). Host energy is already included in `energy`; host time is
+  /// bookkeeping overhead and deliberately not part of `busy_time` (the PIM
+  /// deadline path).
+  std::uint64_t host_cycles = 0;
 };
 
 struct RunStats {
@@ -120,6 +168,7 @@ struct Inventory {
 class Processor {
  public:
   Processor(const SystemConfig& config, const nn::Model& model);
+  ~Processor();  // out-of-line: HostState is incomplete here
 
   /// Executes one slice: runs `n_tasks` buffered inferences. Advances the
   /// internal clock by (at least) one slice.
@@ -229,6 +278,10 @@ class Processor {
   /// task 2 is recorded, tasks 3..n replayed). Bit-identical to the scalar
   /// loop; see docs/PERF.md.
   Time run_tasks_batched(Time cursor, int n_tasks);
+  /// Re-runs the host scheduler program for this slice (host enabled only):
+  /// zeroes the register file, sets sp/a0, resumes at pc 0, requires an
+  /// ECALL halt, posts host energy into the ledger. Returns cycles retired.
+  std::uint64_t run_host_slice(int n_tasks);
 
   [[nodiscard]] pim::Cluster* cluster_of(placement::Space s);
 
@@ -264,6 +317,11 @@ class Processor {
   // Scratch buffers for the batched kernel, reused across slices.
   std::vector<energy::RecordedPost> replay_posts_;
   std::vector<pim::ModuleCounters> probe_;
+
+  /// Host co-simulation state (RAM + bus + block engine + initial image);
+  /// null unless config.host.enabled.
+  struct HostState;
+  std::unique_ptr<HostState> host_;
 };
 
 /// Digest of every (config, model) field that determines a Processor's

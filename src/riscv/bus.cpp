@@ -80,4 +80,18 @@ void Bus::store(std::uint32_t addr, unsigned size, std::uint32_t value) {
   r->device->store(addr - r->base, size, value);
 }
 
+bool Bus::try_load(std::uint32_t addr, unsigned size, std::uint32_t& out) {
+  Region* r = find(addr, size);
+  if (r == nullptr) return false;
+  out = r->device->load(addr - r->base, size);
+  return true;
+}
+
+bool Bus::try_store(std::uint32_t addr, unsigned size, std::uint32_t value) {
+  Region* r = find(addr, size);
+  if (r == nullptr) return false;
+  r->device->store(addr - r->base, size, value);
+  return true;
+}
+
 }  // namespace hhpim::riscv

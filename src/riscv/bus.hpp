@@ -85,6 +85,12 @@ class Bus {
   std::uint32_t load(std::uint32_t addr, unsigned size);
   void store(std::uint32_t addr, unsigned size, std::uint32_t value);
 
+  /// Non-throwing variants for the CPU cores: an access outside every mapped
+  /// region returns false (the core halts with `HaltReason::kUnmappedAccess`)
+  /// instead of unwinding through the dispatch loop.
+  [[nodiscard]] bool try_load(std::uint32_t addr, unsigned size, std::uint32_t& out);
+  [[nodiscard]] bool try_store(std::uint32_t addr, unsigned size, std::uint32_t value);
+
  private:
   struct Region {
     std::uint32_t base;

@@ -9,11 +9,34 @@ std::int32_t sext(std::uint32_t v, unsigned bits) {
 }
 }  // namespace
 
+const char* to_string(HaltReason reason) {
+  switch (reason) {
+    case HaltReason::kRunning: return "running";
+    case HaltReason::kEcall: return "ecall";
+    case HaltReason::kEbreak: return "ebreak";
+    case HaltReason::kMaxSteps: return "max-steps";
+    case HaltReason::kBadInstruction: return "bad-instruction";
+    case HaltReason::kMisalignedAccess: return "misaligned-access";
+    case HaltReason::kUnmappedAccess: return "unmapped-access";
+  }
+  return "unknown";
+}
+
 Cpu::Cpu(Bus* bus, std::uint32_t pc) : bus_(bus), pc_(pc) {}
 
 bool Cpu::step() {
   if (halted()) return false;
-  const std::uint32_t inst = bus_->load(pc_, 4);
+  // A fetch fault halts before any instruction executes, so it does not
+  // count as retired; data faults below retire the faulting instruction.
+  if ((pc_ & 3u) != 0) {
+    halt_ = HaltReason::kMisalignedAccess;
+    return false;
+  }
+  std::uint32_t inst = 0;
+  if (!bus_->try_load(pc_, 4, inst)) {
+    halt_ = HaltReason::kUnmappedAccess;
+    return false;
+  }
   execute(inst);
   ++retired_;
   return !halted();
@@ -82,24 +105,46 @@ void Cpu::execute(std::uint32_t inst) {
     }
     case 0x03: {  // loads
       const std::uint32_t addr = a + static_cast<std::uint32_t>(sext(inst >> 20, 12));
+      unsigned size = 0;
       switch (funct3) {
-        case 0: wr(static_cast<std::uint32_t>(sext(bus_->load(addr, 1), 8))); break;   // LB
-        case 1: wr(static_cast<std::uint32_t>(sext(bus_->load(addr, 2), 16))); break;  // LH
-        case 2: wr(bus_->load(addr, 4)); break;                                        // LW
-        case 4: wr(bus_->load(addr, 1)); break;                                        // LBU
-        case 5: wr(bus_->load(addr, 2)); break;                                        // LHU
+        case 0: case 4: size = 1; break;  // LB/LBU
+        case 1: case 5: size = 2; break;  // LH/LHU
+        case 2: size = 4; break;          // LW
         default: halt_ = HaltReason::kBadInstruction; return;
+      }
+      if ((addr & (size - 1)) != 0) {
+        halt_ = HaltReason::kMisalignedAccess;
+        return;
+      }
+      std::uint32_t v = 0;
+      if (!bus_->try_load(addr, size, v)) {
+        halt_ = HaltReason::kUnmappedAccess;
+        return;
+      }
+      switch (funct3) {
+        case 0: wr(static_cast<std::uint32_t>(sext(v, 8))); break;   // LB
+        case 1: wr(static_cast<std::uint32_t>(sext(v, 16))); break;  // LH
+        default: wr(v); break;                                       // LW/LBU/LHU
       }
       break;
     }
     case 0x23: {  // stores
       const std::uint32_t imm = ((inst >> 25) << 5) | ((inst >> 7) & 0x1f);
       const std::uint32_t addr = a + static_cast<std::uint32_t>(sext(imm, 12));
+      unsigned size = 0;
       switch (funct3) {
-        case 0: bus_->store(addr, 1, b); break;  // SB
-        case 1: bus_->store(addr, 2, b); break;  // SH
-        case 2: bus_->store(addr, 4, b); break;  // SW
+        case 0: size = 1; break;  // SB
+        case 1: size = 2; break;  // SH
+        case 2: size = 4; break;  // SW
         default: halt_ = HaltReason::kBadInstruction; return;
+      }
+      if ((addr & (size - 1)) != 0) {
+        halt_ = HaltReason::kMisalignedAccess;
+        return;
+      }
+      if (!bus_->try_store(addr, size, b)) {
+        halt_ = HaltReason::kUnmappedAccess;
+        return;
       }
       break;
     }

@@ -15,7 +15,23 @@
 
 namespace hhpim::riscv {
 
-enum class HaltReason : std::uint8_t { kRunning, kEcall, kEbreak, kMaxSteps, kBadInstruction };
+enum class HaltReason : std::uint8_t {
+  kRunning,
+  kEcall,
+  kEbreak,
+  kMaxSteps,
+  kBadInstruction,
+  /// A load/store whose address is not size-aligned, or a fetch from a pc
+  /// that is not 4-aligned. RV32 permits either trapping or supporting
+  /// misaligned data; this core traps, so a wild pointer halts loudly
+  /// instead of producing silently rotated bytes.
+  kMisalignedAccess,
+  /// A load, store, or fetch outside every mapped Bus region.
+  kUnmappedAccess,
+};
+
+/// Human-readable halt reason (demo/diagnostic output).
+[[nodiscard]] const char* to_string(HaltReason reason);
 
 class Cpu {
  public:

@@ -1,0 +1,193 @@
+#include "riscv/decode.hpp"
+
+namespace hhpim::riscv {
+namespace {
+
+std::int32_t sext(std::uint32_t v, unsigned bits) {
+  const std::uint32_t m = 1u << (bits - 1);
+  return static_cast<std::int32_t>((v ^ m) - m);
+}
+
+/// Destination write slot: x0 writes go to the scratch slot 32.
+std::uint8_t wslot(std::uint32_t inst) {
+  const std::uint8_t rd = static_cast<std::uint8_t>((inst >> 7) & 0x1f);
+  return rd == 0 ? 32 : rd;
+}
+
+DecodedOp make(OpKind kind, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2,
+               std::int32_t imm) {
+  DecodedOp op;
+  op.kind = kind;
+  op.rd = rd;
+  op.rs1 = rs1;
+  op.rs2 = rs2;
+  op.imm = imm;
+  return op;
+}
+
+}  // namespace
+
+DecodedOp decode_rv32(std::uint32_t inst) {
+  const std::uint32_t opcode = inst & 0x7f;
+  const std::uint8_t rd = wslot(inst);
+  const std::uint8_t rs1 = static_cast<std::uint8_t>((inst >> 15) & 0x1f);
+  const std::uint8_t rs2 = static_cast<std::uint8_t>((inst >> 20) & 0x1f);
+  const std::uint32_t funct3 = (inst >> 12) & 0x7;
+  const std::uint32_t funct7 = (inst >> 25) & 0x7f;
+
+  switch (opcode) {
+    case 0x37:  // LUI
+      return make(OpKind::kLui, rd, 0, 0,
+                  static_cast<std::int32_t>(inst & 0xfffff000u));
+    case 0x17:  // AUIPC
+      return make(OpKind::kAuipc, rd, 0, 0,
+                  static_cast<std::int32_t>(inst & 0xfffff000u));
+    case 0x6f: {  // JAL
+      const std::uint32_t imm = ((inst >> 31) << 20) |
+                                (((inst >> 12) & 0xff) << 12) |
+                                (((inst >> 20) & 1) << 11) |
+                                (((inst >> 21) & 0x3ff) << 1);
+      return make(OpKind::kJal, rd, 0, 0, sext(imm, 21));
+    }
+    case 0x67:  // JALR
+      if (funct3 != 0) break;
+      return make(OpKind::kJalr, rd, rs1, 0, sext(inst >> 20, 12));
+    case 0x63: {  // branches
+      const std::uint32_t imm = ((inst >> 31) << 12) | (((inst >> 7) & 1) << 11) |
+                                (((inst >> 25) & 0x3f) << 5) |
+                                (((inst >> 8) & 0xf) << 1);
+      const std::int32_t off = sext(imm, 13);
+      switch (funct3) {
+        case 0: return make(OpKind::kBeq, 32, rs1, rs2, off);
+        case 1: return make(OpKind::kBne, 32, rs1, rs2, off);
+        case 4: return make(OpKind::kBlt, 32, rs1, rs2, off);
+        case 5: return make(OpKind::kBge, 32, rs1, rs2, off);
+        case 6: return make(OpKind::kBltu, 32, rs1, rs2, off);
+        case 7: return make(OpKind::kBgeu, 32, rs1, rs2, off);
+        default: break;
+      }
+      break;
+    }
+    case 0x03: {  // loads
+      const std::int32_t imm = sext(inst >> 20, 12);
+      switch (funct3) {
+        case 0: return make(OpKind::kLb, rd, rs1, 0, imm);
+        case 1: return make(OpKind::kLh, rd, rs1, 0, imm);
+        case 2: return make(OpKind::kLw, rd, rs1, 0, imm);
+        case 4: return make(OpKind::kLbu, rd, rs1, 0, imm);
+        case 5: return make(OpKind::kLhu, rd, rs1, 0, imm);
+        default: break;
+      }
+      break;
+    }
+    case 0x23: {  // stores
+      const std::uint32_t imm = ((inst >> 25) << 5) | ((inst >> 7) & 0x1f);
+      const std::int32_t off = sext(imm, 12);
+      switch (funct3) {
+        case 0: return make(OpKind::kSb, 32, rs1, rs2, off);
+        case 1: return make(OpKind::kSh, 32, rs1, rs2, off);
+        case 2: return make(OpKind::kSw, 32, rs1, rs2, off);
+        default: break;
+      }
+      break;
+    }
+    case 0x13: {  // OP-IMM
+      const std::int32_t imm = sext(inst >> 20, 12);
+      switch (funct3) {
+        case 0: return make(OpKind::kAddi, rd, rs1, 0, imm);
+        case 2: return make(OpKind::kSlti, rd, rs1, 0, imm);
+        case 3: return make(OpKind::kSltiu, rd, rs1, 0, imm);
+        case 4: return make(OpKind::kXori, rd, rs1, 0, imm);
+        case 6: return make(OpKind::kOri, rd, rs1, 0, imm);
+        case 7: return make(OpKind::kAndi, rd, rs1, 0, imm);
+        case 1: return make(OpKind::kSlli, rd, rs1, 0, static_cast<std::int32_t>(rs2));
+        case 5:
+          return make((funct7 & 0x20) != 0 ? OpKind::kSrai : OpKind::kSrli, rd,
+                      rs1, 0, static_cast<std::int32_t>(rs2));
+        default: break;
+      }
+      break;
+    }
+    case 0x33: {  // OP
+      if (funct7 == 0x01) {  // M extension
+        switch (funct3) {
+          case 0: return make(OpKind::kMul, rd, rs1, rs2, 0);
+          case 1: return make(OpKind::kMulh, rd, rs1, rs2, 0);
+          case 2: return make(OpKind::kMulhsu, rd, rs1, rs2, 0);
+          case 3: return make(OpKind::kMulhu, rd, rs1, rs2, 0);
+          case 4: return make(OpKind::kDiv, rd, rs1, rs2, 0);
+          case 5: return make(OpKind::kDivu, rd, rs1, rs2, 0);
+          case 6: return make(OpKind::kRem, rd, rs1, rs2, 0);
+          case 7: return make(OpKind::kRemu, rd, rs1, rs2, 0);
+          default: break;
+        }
+        break;
+      }
+      switch (funct3) {
+        case 0:
+          return make((funct7 & 0x20) != 0 ? OpKind::kSub : OpKind::kAdd, rd,
+                      rs1, rs2, 0);
+        case 1: return make(OpKind::kSll, rd, rs1, rs2, 0);
+        case 2: return make(OpKind::kSlt, rd, rs1, rs2, 0);
+        case 3: return make(OpKind::kSltu, rd, rs1, rs2, 0);
+        case 4: return make(OpKind::kXor, rd, rs1, rs2, 0);
+        case 5:
+          return make((funct7 & 0x20) != 0 ? OpKind::kSra : OpKind::kSrl, rd,
+                      rs1, rs2, 0);
+        case 6: return make(OpKind::kOr, rd, rs1, rs2, 0);
+        case 7: return make(OpKind::kAnd, rd, rs1, rs2, 0);
+        default: break;
+      }
+      break;
+    }
+    case 0x0f:  // FENCE — no-op in a single-core in-order model
+      return make(OpKind::kFence, 32, 0, 0, 0);
+    case 0x73:  // SYSTEM
+      if (inst == 0x00000073u) return make(OpKind::kEcall, 32, 0, 0, 0);
+      if (inst == 0x00100073u) return make(OpKind::kEbreak, 32, 0, 0, 0);
+      break;
+    default:
+      break;
+  }
+  return make(OpKind::kIllegal, 32, 0, 0, 0);
+}
+
+OpClass class_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLb: case OpKind::kLh: case OpKind::kLw:
+    case OpKind::kLbu: case OpKind::kLhu:
+      return OpClass::kLoad;
+    case OpKind::kSb: case OpKind::kSh: case OpKind::kSw:
+      return OpClass::kStore;
+    case OpKind::kBeq: case OpKind::kBne: case OpKind::kBlt:
+    case OpKind::kBge: case OpKind::kBltu: case OpKind::kBgeu:
+      return OpClass::kBranch;
+    case OpKind::kJal: case OpKind::kJalr:
+      return OpClass::kJump;
+    case OpKind::kMul: case OpKind::kMulh: case OpKind::kMulhsu:
+    case OpKind::kMulhu:
+      return OpClass::kMul;
+    case OpKind::kDiv: case OpKind::kDivu: case OpKind::kRem:
+    case OpKind::kRemu:
+      return OpClass::kDiv;
+    case OpKind::kFence: case OpKind::kEcall: case OpKind::kEbreak:
+    case OpKind::kIllegal:
+      return OpClass::kSystem;
+    default:
+      return OpClass::kAlu;
+  }
+}
+
+bool ends_block(OpKind kind) {
+  switch (kind) {
+    case OpKind::kJal: case OpKind::kJalr:
+    case OpKind::kBeq: case OpKind::kBne: case OpKind::kBlt:
+    case OpKind::kBge: case OpKind::kBltu: case OpKind::kBgeu:
+    case OpKind::kEcall: case OpKind::kEbreak: case OpKind::kIllegal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace hhpim::riscv

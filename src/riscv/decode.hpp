@@ -1,0 +1,66 @@
+// Flat decoded-op IR for the RV32IM block engine (docs/RISCV.md).
+//
+// `decode_rv32` turns one raw instruction word into a `DecodedOp`: a dense
+// opcode id plus pre-extracted register indices and a fully assembled
+// immediate. The block engine predecodes straight-line runs of these once,
+// then dispatches on `kind` without ever re-touching the instruction bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace hhpim::riscv {
+
+/// One executable operation. Dense so dispatch tables index directly by it.
+enum class OpKind : std::uint8_t {
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kFence, kEcall, kEbreak,
+  kIllegal,
+  kCount,
+};
+
+/// Coarse op classes the host cycle model charges by (docs/RISCV.md
+/// "Cycle model").
+enum class OpClass : std::uint8_t {
+  kAlu, kMul, kDiv, kLoad, kStore, kBranch, kJump, kSystem,
+  kCount,
+};
+
+/// A predecoded instruction.
+///
+/// `rd` is the *write slot*: destination register, except that writes to x0
+/// are redirected at decode time to the scratch slot 32 — the engine's
+/// register file has 33 entries so the hot loop never branches on rd == 0.
+/// `rs1`/`rs2` are always architectural indices (x0 itself is never written,
+/// so reads of slot 0 stay zero). `imm` is the sign-extended immediate; for
+/// shifts it holds the 5-bit shamt, for LUI/AUIPC the pre-shifted upper
+/// immediate, and for branches/JAL the pc-relative byte offset. `cycles` is
+/// filled in by the engine from its `CycleModel` when a block is compiled.
+struct DecodedOp {
+  OpKind kind = OpKind::kIllegal;
+  std::uint8_t rd = 32;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t cycles = 1;
+  std::int32_t imm = 0;
+};
+
+/// Decodes one RV32IM instruction word. Unknown encodings come back as
+/// `kIllegal` (the engine halts with `HaltReason::kBadInstruction`, exactly
+/// like the step interpreter).
+[[nodiscard]] DecodedOp decode_rv32(std::uint32_t inst);
+
+/// The cycle-model class of an op kind.
+[[nodiscard]] OpClass class_of(OpKind kind);
+
+/// True when `kind` terminates a basic block: branches, jumps, system ops,
+/// and illegal encodings. Stores do *not* end blocks — self-modifying code
+/// is handled by invalidation instead (docs/RISCV.md "Invalidation").
+[[nodiscard]] bool ends_block(OpKind kind);
+
+}  // namespace hhpim::riscv

@@ -1,0 +1,520 @@
+#include "riscv/engine.hpp"
+
+#include <algorithm>
+
+namespace hhpim::riscv {
+namespace {
+
+/// Blocks are capped so a straight-line megabyte of code cannot produce one
+/// unbounded decode; execution falls through to the next block seamlessly.
+constexpr int kMaxBlockOps = 64;
+
+std::int32_t sext(std::uint32_t v, unsigned bits) {
+  const std::uint32_t m = 1u << (bits - 1);
+  return static_cast<std::int32_t>((v ^ m) - m);
+}
+
+}  // namespace
+
+std::uint32_t CycleModel::cost(OpClass c) const {
+  switch (c) {
+    case OpClass::kAlu: return alu;
+    case OpClass::kMul: return mul;
+    case OpClass::kDiv: return div;
+    case OpClass::kLoad: return load;
+    case OpClass::kStore: return store;
+    case OpClass::kBranch: return branch;
+    case OpClass::kJump: return jump;
+    case OpClass::kSystem: return system;
+    case OpClass::kCount: break;
+  }
+  return 1;
+}
+
+BlockEngine::BlockEngine(Bus* bus, std::uint32_t pc, CycleModel cycles)
+    : bus_(bus), pc_(pc), model_(cycles) {}
+
+void BlockEngine::clear_cache() {
+  blocks_.clear();
+  last_block_ = nullptr;
+  code_lo_ = 0xffffffffu;
+  code_hi_ = 0;
+}
+
+BlockEngine::Block* BlockEngine::lookup_or_compile(std::uint32_t pc) {
+  if (last_block_ != nullptr && last_block_->start == pc) {
+    ++stats_.block_hits;
+    return last_block_;
+  }
+  auto it = blocks_.find(pc);
+  if (it != blocks_.end()) {
+    ++stats_.block_hits;
+    last_block_ = &it->second;
+    return last_block_;
+  }
+
+  Block blk;
+  blk.start = pc;
+  std::uint32_t cur = pc;
+  for (int len = 0; len < kMaxBlockOps; ++len) {
+    std::uint32_t word = 0;
+    if (!bus_->try_load(cur, 4, word)) break;  // block ends at the fault edge
+    DecodedOp op = decode_rv32(word);
+    op.cycles = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(255u, model_.cost(class_of(op.kind))));
+    blk.ops.push_back(op);
+    cur += 4;
+    if (ends_block(op.kind)) break;
+  }
+  if (blk.ops.empty()) return nullptr;  // unmapped fetch at the block start
+  blk.end = cur;
+  ++stats_.blocks_compiled;
+  code_lo_ = std::min(code_lo_, blk.start);
+  code_hi_ = std::max(code_hi_, blk.end);
+  // unordered_map is node-based: rehash on insert never moves elements, so
+  // cached Block pointers stay valid until the block itself is erased.
+  auto inserted = blocks_.emplace(pc, std::move(blk));
+  last_block_ = &inserted.first->second;
+  return last_block_;
+}
+
+bool BlockEngine::invalidate_range(std::uint32_t addr, unsigned size) {
+  const std::uint32_t lo = addr;
+  const std::uint32_t hi = addr + size;
+  std::uint64_t erased = 0;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (lo < it->second.end && hi > it->second.start) {
+      it = blocks_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  if (erased == 0) return false;
+  stats_.invalidations += erased;
+  last_block_ = nullptr;
+  code_lo_ = 0xffffffffu;
+  code_hi_ = 0;
+  for (const auto& entry : blocks_) {
+    code_lo_ = std::min(code_lo_, entry.second.start);
+    code_hi_ = std::max(code_hi_, entry.second.end);
+  }
+  return true;
+}
+
+std::uint64_t BlockEngine::run(std::uint64_t max_steps) {
+  std::uint64_t executed = 0;
+  while (halt_ == HaltReason::kRunning && executed < max_steps) {
+    if ((pc_ & 3u) != 0) {
+      halt_ = HaltReason::kMisalignedAccess;
+      break;
+    }
+    Block* blk = lookup_or_compile(pc_);
+    if (blk == nullptr) {
+      halt_ = HaltReason::kUnmappedAccess;
+      break;
+    }
+    exec_block(*blk, max_steps, executed);
+  }
+  if (halt_ == HaltReason::kRunning && executed >= max_steps) {
+    halt_ = HaltReason::kMaxSteps;
+  }
+  return executed;
+}
+
+// The dispatch loop. On GCC/Clang each handler jumps straight to the next
+// op's handler through a label table (threaded dispatch); elsewhere the same
+// handler bodies sit in a switch re-entered via `dispatch_top`. Halt/retire
+// semantics mirror Cpu exactly: the halting instruction counts in retired_
+// but not in `executed`, data faults leave pc_ at the faulting op, and a
+// budget stop leaves pc_ at the first unexecuted op.
+void BlockEngine::exec_block(const Block& blk, std::uint64_t max_steps,
+                             std::uint64_t& executed) {
+  const DecodedOp* ops = blk.ops.data();
+  const std::size_t n = blk.ops.size();
+  const std::uint32_t start = blk.start;
+  const std::uint32_t end = blk.end;
+  std::size_t i = 0;
+  const DecodedOp* op = ops;
+
+#define CUR_PC (start + (static_cast<std::uint32_t>(i) << 2))
+
+#define RETIRE_JUMP(target)    \
+  do {                         \
+    ++retired_;                \
+    ++executed;                \
+    cycles_ += op->cycles;     \
+    pc_ = (target);            \
+    return;                    \
+  } while (0)
+
+#define HALT_RETIRE(reason)    \
+  do {                         \
+    ++retired_;                \
+    cycles_ += op->cycles;     \
+    pc_ = CUR_PC;              \
+    halt_ = (reason);          \
+    return;                    \
+  } while (0)
+
+#define RETIRE_NEXT()                  \
+  do {                                 \
+    ++retired_;                        \
+    ++executed;                        \
+    cycles_ += op->cycles;             \
+    ++i;                               \
+    if (i == n) {                      \
+      pc_ = end;                       \
+      return;                          \
+    }                                  \
+    if (executed >= max_steps) {       \
+      pc_ = CUR_PC;                    \
+      return;                          \
+    }                                  \
+    op = ops + i;                      \
+    DISPATCH();                        \
+  } while (0)
+
+#if defined(__GNUC__) && !defined(HHPIM_RISCV_NO_COMPUTED_GOTO)
+  // Label table indexed by OpKind — must match the enum declaration order.
+  static const void* const kLabels[] = {
+      &&h_Lui, &&h_Auipc, &&h_Jal, &&h_Jalr,
+      &&h_Beq, &&h_Bne, &&h_Blt, &&h_Bge, &&h_Bltu, &&h_Bgeu,
+      &&h_Lb, &&h_Lh, &&h_Lw, &&h_Lbu, &&h_Lhu,
+      &&h_Sb, &&h_Sh, &&h_Sw,
+      &&h_Addi, &&h_Slti, &&h_Sltiu, &&h_Xori, &&h_Ori, &&h_Andi,
+      &&h_Slli, &&h_Srli, &&h_Srai,
+      &&h_Add, &&h_Sub, &&h_Sll, &&h_Slt, &&h_Sltu, &&h_Xor,
+      &&h_Srl, &&h_Sra, &&h_Or, &&h_And,
+      &&h_Mul, &&h_Mulh, &&h_Mulhsu, &&h_Mulhu,
+      &&h_Div, &&h_Divu, &&h_Rem, &&h_Remu,
+      &&h_Fence, &&h_Ecall, &&h_Ebreak, &&h_Illegal,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                    static_cast<std::size_t>(OpKind::kCount),
+                "label table must cover every OpKind");
+#define HANDLER(name) h_##name
+#define DISPATCH() goto* kLabels[static_cast<std::size_t>(op->kind)]
+  DISPATCH();
+#else
+#define HANDLER(name) case OpKind::k##name
+#define DISPATCH() goto dispatch_top
+dispatch_top:
+  switch (op->kind) {
+#endif
+
+  HANDLER(Lui) : {
+    x_[op->rd] = static_cast<std::uint32_t>(op->imm);
+    RETIRE_NEXT();
+  }
+  HANDLER(Auipc) : {
+    x_[op->rd] = CUR_PC + static_cast<std::uint32_t>(op->imm);
+    RETIRE_NEXT();
+  }
+  HANDLER(Jal) : {
+    const std::uint32_t cur = CUR_PC;
+    x_[op->rd] = cur + 4;
+    RETIRE_JUMP(cur + static_cast<std::uint32_t>(op->imm));
+  }
+  HANDLER(Jalr) : {
+    const std::uint32_t target =
+        (x_[op->rs1] + static_cast<std::uint32_t>(op->imm)) & ~1u;
+    x_[op->rd] = CUR_PC + 4;
+    RETIRE_JUMP(target);
+  }
+  HANDLER(Beq) : {
+    if (x_[op->rs1] == x_[op->rs2]) {
+      RETIRE_JUMP(CUR_PC + static_cast<std::uint32_t>(op->imm));
+    }
+    RETIRE_JUMP(CUR_PC + 4);
+  }
+  HANDLER(Bne) : {
+    if (x_[op->rs1] != x_[op->rs2]) {
+      RETIRE_JUMP(CUR_PC + static_cast<std::uint32_t>(op->imm));
+    }
+    RETIRE_JUMP(CUR_PC + 4);
+  }
+  HANDLER(Blt) : {
+    if (static_cast<std::int32_t>(x_[op->rs1]) <
+        static_cast<std::int32_t>(x_[op->rs2])) {
+      RETIRE_JUMP(CUR_PC + static_cast<std::uint32_t>(op->imm));
+    }
+    RETIRE_JUMP(CUR_PC + 4);
+  }
+  HANDLER(Bge) : {
+    if (static_cast<std::int32_t>(x_[op->rs1]) >=
+        static_cast<std::int32_t>(x_[op->rs2])) {
+      RETIRE_JUMP(CUR_PC + static_cast<std::uint32_t>(op->imm));
+    }
+    RETIRE_JUMP(CUR_PC + 4);
+  }
+  HANDLER(Bltu) : {
+    if (x_[op->rs1] < x_[op->rs2]) {
+      RETIRE_JUMP(CUR_PC + static_cast<std::uint32_t>(op->imm));
+    }
+    RETIRE_JUMP(CUR_PC + 4);
+  }
+  HANDLER(Bgeu) : {
+    if (x_[op->rs1] >= x_[op->rs2]) {
+      RETIRE_JUMP(CUR_PC + static_cast<std::uint32_t>(op->imm));
+    }
+    RETIRE_JUMP(CUR_PC + 4);
+  }
+  HANDLER(Lb) : {
+    const std::uint32_t addr = x_[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    std::uint32_t v = 0;
+    if (!bus_->try_load(addr, 1, v)) HALT_RETIRE(HaltReason::kUnmappedAccess);
+    x_[op->rd] = static_cast<std::uint32_t>(sext(v, 8));
+    RETIRE_NEXT();
+  }
+  HANDLER(Lh) : {
+    const std::uint32_t addr = x_[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    if ((addr & 1u) != 0) HALT_RETIRE(HaltReason::kMisalignedAccess);
+    std::uint32_t v = 0;
+    if (!bus_->try_load(addr, 2, v)) HALT_RETIRE(HaltReason::kUnmappedAccess);
+    x_[op->rd] = static_cast<std::uint32_t>(sext(v, 16));
+    RETIRE_NEXT();
+  }
+  HANDLER(Lw) : {
+    const std::uint32_t addr = x_[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    if ((addr & 3u) != 0) HALT_RETIRE(HaltReason::kMisalignedAccess);
+    std::uint32_t v = 0;
+    if (!bus_->try_load(addr, 4, v)) HALT_RETIRE(HaltReason::kUnmappedAccess);
+    x_[op->rd] = v;
+    RETIRE_NEXT();
+  }
+  HANDLER(Lbu) : {
+    const std::uint32_t addr = x_[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    std::uint32_t v = 0;
+    if (!bus_->try_load(addr, 1, v)) HALT_RETIRE(HaltReason::kUnmappedAccess);
+    x_[op->rd] = v;
+    RETIRE_NEXT();
+  }
+  HANDLER(Lhu) : {
+    const std::uint32_t addr = x_[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    if ((addr & 1u) != 0) HALT_RETIRE(HaltReason::kMisalignedAccess);
+    std::uint32_t v = 0;
+    if (!bus_->try_load(addr, 2, v)) HALT_RETIRE(HaltReason::kUnmappedAccess);
+    x_[op->rd] = v;
+    RETIRE_NEXT();
+  }
+  HANDLER(Sb) : {
+    const std::uint32_t addr = x_[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    if (!bus_->try_store(addr, 1, x_[op->rs2])) {
+      HALT_RETIRE(HaltReason::kUnmappedAccess);
+    }
+    if (addr < code_hi_ && addr + 1u > code_lo_) {
+      const std::uint32_t next = CUR_PC + 4;
+      const std::uint8_t cyc = op->cycles;
+      if (invalidate_range(addr, 1)) {
+        // ops may now dangle — leave the block, the outer loop recompiles.
+        ++retired_;
+        ++executed;
+        cycles_ += cyc;
+        pc_ = next;
+        return;
+      }
+    }
+    RETIRE_NEXT();
+  }
+  HANDLER(Sh) : {
+    const std::uint32_t addr = x_[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    if ((addr & 1u) != 0) HALT_RETIRE(HaltReason::kMisalignedAccess);
+    if (!bus_->try_store(addr, 2, x_[op->rs2])) {
+      HALT_RETIRE(HaltReason::kUnmappedAccess);
+    }
+    if (addr < code_hi_ && addr + 2u > code_lo_) {
+      const std::uint32_t next = CUR_PC + 4;
+      const std::uint8_t cyc = op->cycles;
+      if (invalidate_range(addr, 2)) {
+        ++retired_;
+        ++executed;
+        cycles_ += cyc;
+        pc_ = next;
+        return;
+      }
+    }
+    RETIRE_NEXT();
+  }
+  HANDLER(Sw) : {
+    const std::uint32_t addr = x_[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    if ((addr & 3u) != 0) HALT_RETIRE(HaltReason::kMisalignedAccess);
+    if (!bus_->try_store(addr, 4, x_[op->rs2])) {
+      HALT_RETIRE(HaltReason::kUnmappedAccess);
+    }
+    if (addr < code_hi_ && addr + 4u > code_lo_) {
+      const std::uint32_t next = CUR_PC + 4;
+      const std::uint8_t cyc = op->cycles;
+      if (invalidate_range(addr, 4)) {
+        ++retired_;
+        ++executed;
+        cycles_ += cyc;
+        pc_ = next;
+        return;
+      }
+    }
+    RETIRE_NEXT();
+  }
+  HANDLER(Addi) : {
+    x_[op->rd] = x_[op->rs1] + static_cast<std::uint32_t>(op->imm);
+    RETIRE_NEXT();
+  }
+  HANDLER(Slti) : {
+    x_[op->rd] = static_cast<std::int32_t>(x_[op->rs1]) < op->imm ? 1 : 0;
+    RETIRE_NEXT();
+  }
+  HANDLER(Sltiu) : {
+    x_[op->rd] = x_[op->rs1] < static_cast<std::uint32_t>(op->imm) ? 1 : 0;
+    RETIRE_NEXT();
+  }
+  HANDLER(Xori) : {
+    x_[op->rd] = x_[op->rs1] ^ static_cast<std::uint32_t>(op->imm);
+    RETIRE_NEXT();
+  }
+  HANDLER(Ori) : {
+    x_[op->rd] = x_[op->rs1] | static_cast<std::uint32_t>(op->imm);
+    RETIRE_NEXT();
+  }
+  HANDLER(Andi) : {
+    x_[op->rd] = x_[op->rs1] & static_cast<std::uint32_t>(op->imm);
+    RETIRE_NEXT();
+  }
+  HANDLER(Slli) : {
+    x_[op->rd] = x_[op->rs1] << op->imm;
+    RETIRE_NEXT();
+  }
+  HANDLER(Srli) : {
+    x_[op->rd] = x_[op->rs1] >> op->imm;
+    RETIRE_NEXT();
+  }
+  HANDLER(Srai) : {
+    x_[op->rd] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(x_[op->rs1]) >> op->imm);
+    RETIRE_NEXT();
+  }
+  HANDLER(Add) : {
+    x_[op->rd] = x_[op->rs1] + x_[op->rs2];
+    RETIRE_NEXT();
+  }
+  HANDLER(Sub) : {
+    x_[op->rd] = x_[op->rs1] - x_[op->rs2];
+    RETIRE_NEXT();
+  }
+  HANDLER(Sll) : {
+    x_[op->rd] = x_[op->rs1] << (x_[op->rs2] & 0x1f);
+    RETIRE_NEXT();
+  }
+  HANDLER(Slt) : {
+    x_[op->rd] = static_cast<std::int32_t>(x_[op->rs1]) <
+                         static_cast<std::int32_t>(x_[op->rs2])
+                     ? 1
+                     : 0;
+    RETIRE_NEXT();
+  }
+  HANDLER(Sltu) : {
+    x_[op->rd] = x_[op->rs1] < x_[op->rs2] ? 1 : 0;
+    RETIRE_NEXT();
+  }
+  HANDLER(Xor) : {
+    x_[op->rd] = x_[op->rs1] ^ x_[op->rs2];
+    RETIRE_NEXT();
+  }
+  HANDLER(Srl) : {
+    x_[op->rd] = x_[op->rs1] >> (x_[op->rs2] & 0x1f);
+    RETIRE_NEXT();
+  }
+  HANDLER(Sra) : {
+    x_[op->rd] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(x_[op->rs1]) >> (x_[op->rs2] & 0x1f));
+    RETIRE_NEXT();
+  }
+  HANDLER(Or) : {
+    x_[op->rd] = x_[op->rs1] | x_[op->rs2];
+    RETIRE_NEXT();
+  }
+  HANDLER(And) : {
+    x_[op->rd] = x_[op->rs1] & x_[op->rs2];
+    RETIRE_NEXT();
+  }
+  HANDLER(Mul) : {
+    x_[op->rd] = x_[op->rs1] * x_[op->rs2];
+    RETIRE_NEXT();
+  }
+  HANDLER(Mulh) : {
+    const std::int64_t sa = static_cast<std::int32_t>(x_[op->rs1]);
+    const std::int64_t sb = static_cast<std::int32_t>(x_[op->rs2]);
+    x_[op->rd] = static_cast<std::uint32_t>((sa * sb) >> 32);
+    RETIRE_NEXT();
+  }
+  HANDLER(Mulhsu) : {
+    const std::int64_t sa = static_cast<std::int32_t>(x_[op->rs1]);
+    const std::int64_t ub = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(x_[op->rs2]));
+    x_[op->rd] = static_cast<std::uint32_t>((sa * ub) >> 32);
+    RETIRE_NEXT();
+  }
+  HANDLER(Mulhu) : {
+    const std::uint64_t ua = x_[op->rs1];
+    const std::uint64_t ub = x_[op->rs2];
+    x_[op->rd] = static_cast<std::uint32_t>((ua * ub) >> 32);
+    RETIRE_NEXT();
+  }
+  HANDLER(Div) : {
+    const std::uint32_t a = x_[op->rs1];
+    const std::uint32_t b = x_[op->rs2];
+    if (b == 0) {
+      x_[op->rd] = 0xffffffffu;
+    } else if (a == 0x80000000u && b == 0xffffffffu) {
+      x_[op->rd] = 0x80000000u;
+    } else {
+      x_[op->rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(a) /
+                                              static_cast<std::int32_t>(b));
+    }
+    RETIRE_NEXT();
+  }
+  HANDLER(Divu) : {
+    const std::uint32_t b = x_[op->rs2];
+    x_[op->rd] = b == 0 ? 0xffffffffu : x_[op->rs1] / b;
+    RETIRE_NEXT();
+  }
+  HANDLER(Rem) : {
+    const std::uint32_t a = x_[op->rs1];
+    const std::uint32_t b = x_[op->rs2];
+    if (b == 0) {
+      x_[op->rd] = a;
+    } else if (a == 0x80000000u && b == 0xffffffffu) {
+      x_[op->rd] = 0;
+    } else {
+      x_[op->rd] = static_cast<std::uint32_t>(static_cast<std::int32_t>(a) %
+                                              static_cast<std::int32_t>(b));
+    }
+    RETIRE_NEXT();
+  }
+  HANDLER(Remu) : {
+    const std::uint32_t b = x_[op->rs2];
+    x_[op->rd] = b == 0 ? x_[op->rs1] : x_[op->rs1] % b;
+    RETIRE_NEXT();
+  }
+  HANDLER(Fence) : { RETIRE_NEXT(); }
+  HANDLER(Ecall) : { HALT_RETIRE(HaltReason::kEcall); }
+  HANDLER(Ebreak) : { HALT_RETIRE(HaltReason::kEbreak); }
+  HANDLER(Illegal) : { HALT_RETIRE(HaltReason::kBadInstruction); }
+
+#if defined(__GNUC__) && !defined(HHPIM_RISCV_NO_COMPUTED_GOTO)
+#else
+  case OpKind::kCount:
+    break;
+  }
+  // Unreachable: decode never emits kCount and every handler exits.
+  HALT_RETIRE(HaltReason::kBadInstruction);
+#endif
+
+#undef CUR_PC
+#undef RETIRE_JUMP
+#undef HALT_RETIRE
+#undef RETIRE_NEXT
+#undef HANDLER
+#undef DISPATCH
+}
+
+}  // namespace hhpim::riscv

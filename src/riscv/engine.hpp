@@ -1,0 +1,120 @@
+// Decoded-block RV32IM engine: basic-block cache + threaded dispatch.
+//
+// `BlockEngine` is architecturally equivalent to `Cpu` (same registers, same
+// halt semantics, same Bus) but executes from a cache of predecoded basic
+// blocks instead of fetching and decoding one instruction at a time — the
+// rv32emu decoded-block idiom. Blocks are keyed by start pc, terminated at
+// control-flow/system ops, and invalidated when a store lands inside a
+// compiled range, so self-modifying code stays correct. A per-op-class
+// `CycleModel` accumulates retired cycles for the host-in-the-loop energy
+// accounting (docs/RISCV.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "riscv/bus.hpp"
+#include "riscv/cpu.hpp"
+#include "riscv/decode.hpp"
+
+namespace hhpim::riscv {
+
+/// Per-op-class retired-cycle costs, loosely modeled on an in-order Rocket
+/// pipeline: single-cycle ALU/branch, pipelined multiplier, iterative
+/// divider, blocking loads/stores. Costs are capped at 255 (they are baked
+/// into `DecodedOp::cycles` at block-compile time).
+struct CycleModel {
+  std::uint32_t alu = 1;
+  std::uint32_t mul = 3;
+  std::uint32_t div = 34;
+  std::uint32_t load = 2;
+  std::uint32_t store = 2;
+  std::uint32_t branch = 1;
+  std::uint32_t jump = 2;
+  std::uint32_t system = 1;
+
+  [[nodiscard]] std::uint32_t cost(OpClass c) const;
+};
+
+/// Block-cache observability counters (`riscv_host_demo --stats`).
+struct EngineStats {
+  std::uint64_t blocks_compiled = 0;
+  std::uint64_t block_hits = 0;     ///< dispatches served from the cache
+  std::uint64_t invalidations = 0;  ///< blocks dropped by stores into code
+};
+
+class BlockEngine {
+ public:
+  explicit BlockEngine(Bus* bus, std::uint32_t pc = 0, CycleModel cycles = {});
+
+  /// Runs until halt or `max_steps`. Returns the number of retired
+  /// instructions this call, matching `Cpu::run` exactly (the halting
+  /// instruction counts toward `retired()` but not the return value).
+  std::uint64_t run(std::uint64_t max_steps = 1'000'000);
+
+  [[nodiscard]] std::uint32_t reg(unsigned i) const { return x_[i]; }
+  void set_reg(unsigned i, std::uint32_t v) {
+    if (i != 0) x_[i] = v;
+  }
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+
+  [[nodiscard]] bool halted() const { return halt_ != HaltReason::kRunning; }
+  [[nodiscard]] HaltReason halt_reason() const { return halt_; }
+  [[nodiscard]] std::uint64_t retired() const { return retired_; }
+  /// Cycles retired under the engine's `CycleModel` (monotonic; callers
+  /// window by differencing).
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+  /// Restarts execution at `pc` with registers preserved. Compiled blocks
+  /// survive — re-running the same program is the cache's whole point.
+  void resume(std::uint32_t pc) {
+    pc_ = pc;
+    halt_ = HaltReason::kRunning;
+  }
+
+  /// Drops every compiled block. Must be called after memory the engine may
+  /// have compiled from is rewritten *without* going through the Bus (e.g.
+  /// `Ram::load_image`); stores through the Bus invalidate automatically.
+  void clear_cache();
+
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+ private:
+  struct Block {
+    std::uint32_t start = 0;
+    std::uint32_t end = 0;  ///< byte address one past the last decoded op
+    std::vector<DecodedOp> ops;
+  };
+
+  Block* lookup_or_compile(std::uint32_t pc);
+  /// Executes ops of `blk` until a terminator, fault, invalidating store, or
+  /// the step budget; updates pc_/halt_/retired_/cycles_ and `executed`.
+  void exec_block(const Block& blk, std::uint64_t max_steps,
+                  std::uint64_t& executed);
+  /// Erases blocks overlapping [addr, addr+size). Returns true if any block
+  /// was dropped (the caller must abandon the block it is executing).
+  bool invalidate_range(std::uint32_t addr, unsigned size);
+
+  Bus* bus_;
+  // Slot 32 is the write sink for rd == x0 (see DecodedOp::rd).
+  std::array<std::uint32_t, 33> x_{};
+  std::uint32_t pc_;
+  HaltReason halt_ = HaltReason::kRunning;
+  std::uint64_t retired_ = 0;
+  std::uint64_t cycles_ = 0;
+  CycleModel model_;
+
+  std::unordered_map<std::uint32_t, Block> blocks_;
+  // Union of compiled code ranges: the store fast path rejects data stores
+  // with two compares instead of walking the block map.
+  std::uint32_t code_lo_ = 0xffffffffu;
+  std::uint32_t code_hi_ = 0;
+  // One-entry lookup cache for tight loops (cleared on any invalidation).
+  Block* last_block_ = nullptr;
+  EngineStats stats_;
+};
+
+}  // namespace hhpim::riscv

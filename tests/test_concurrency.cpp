@@ -366,7 +366,7 @@ TEST(FleetConcurrency, OutcomeCacheConcurrentGetOrInsert) {
         if (hit == nullptr) {
           batch.assign(1, {key, fleet::SliceOutcome{static_cast<double>(k),
                                                     static_cast<std::int64_t>(k), 0,
-                                                    k ^ 0xabcdULL, false}});
+                                                    k ^ 0xabcdULL, 0, false}});
           cache.insert_batch(batch);
         } else if (hit->post_state != (k ^ 0xabcdULL) ||
                    hit->energy_pj != static_cast<double>(k)) {

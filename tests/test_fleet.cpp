@@ -514,7 +514,7 @@ TEST(OutcomeCacheSlo, DifferentSlosNeverShareAMemoBucket) {
   base.mode = 0;
   base.tier = 0;
   std::vector<std::pair<SliceOutcomeKey, SliceOutcome>> batch;
-  batch.push_back({base, SliceOutcome{100.0, 5, 2, 99, false}});
+  batch.push_back({base, SliceOutcome{100.0, 5, 2, 99, 0, false}});
   cache.insert_batch(batch);
   ASSERT_NE(cache.lookup(base), nullptr);
 

@@ -52,7 +52,7 @@ TEST(OutcomeCache, LookupInsertStatsClear) {
   EXPECT_EQ(cache.stats().misses, 1u);
 
   std::vector<std::pair<SliceOutcomeKey, SliceOutcome>> batch;
-  batch.push_back({key, SliceOutcome{100.0, 5, 2, 99, true}});
+  batch.push_back({key, SliceOutcome{100.0, 5, 2, 99, 0, true}});
   cache.insert_batch(batch);
   const SliceOutcome* hit = cache.lookup(key);
   ASSERT_NE(hit, nullptr);

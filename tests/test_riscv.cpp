@@ -171,6 +171,176 @@ TEST(Cpu, DivisionEdgeCases) {
   EXPECT_EQ(m.cpu.reg(13), 0u);
 }
 
+// All eight M-extension ops over one operand pair (a0, a1), results in
+// t0..t6 + s0. Reused across operand sets by resume(0) + set_reg.
+constexpr const char* kMExtProgram = R"(
+    mul    t0, a0, a1
+    mulh   t1, a0, a1
+    mulhsu t2, a0, a1
+    mulhu  t3, a0, a1
+    div    t4, a0, a1
+    divu   t5, a0, a1
+    rem    t6, a0, a1
+    remu   s0, a0, a1
+    ecall
+)";
+
+/// The RV32M result for (a, b) computed with 64-bit reference math.
+struct MRef {
+  std::uint32_t mul, mulh, mulhsu, mulhu, div, divu, rem, remu;
+};
+
+MRef m_reference(std::uint32_t a, std::uint32_t b) {
+  const auto sa = static_cast<std::int32_t>(a);
+  const auto sb = static_cast<std::int32_t>(b);
+  const auto wa = static_cast<std::int64_t>(sa);
+  const auto wb = static_cast<std::int64_t>(sb);
+  MRef r{};
+  r.mul = static_cast<std::uint32_t>(wa * wb);
+  r.mulh = static_cast<std::uint32_t>(static_cast<std::uint64_t>(wa * wb) >> 32);
+  r.mulhsu = static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(wa * static_cast<std::int64_t>(b)) >> 32);
+  r.mulhu = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b)) >> 32);
+  if (b == 0) {
+    r.div = 0xffffffffu;  // spec: quotient all ones
+    r.rem = a;            // spec: remainder = dividend
+    r.divu = 0xffffffffu;
+    r.remu = a;
+  } else {
+    if (a == 0x80000000u && b == 0xffffffffu) {
+      r.div = 0x80000000u;  // signed overflow: INT_MIN / -1
+      r.rem = 0;
+    } else {
+      r.div = static_cast<std::uint32_t>(sa / sb);
+      r.rem = static_cast<std::uint32_t>(sa % sb);
+    }
+    r.divu = a / b;
+    r.remu = a % b;
+  }
+  return r;
+}
+
+TEST(Cpu, MExtensionMatchesWideReference) {
+  // Satellite: DIV/REM by zero, INT_MIN/-1 overflow, and MULH/MULHSU/MULHU
+  // sign behavior, every result cross-checked against 64-bit math.
+  constexpr std::pair<std::uint32_t, std::uint32_t> kOperands[] = {
+      {0, 0},
+      {5, 0},                      // division by zero
+      {0x80000000u, 0xffffffffu},  // INT_MIN / -1 signed overflow
+      {0x80000000u, 1},
+      {0x7fffffffu, 0x7fffffffu},
+      {0xffffffffu, 0xffffffffu},  // -1 * -1 vs UINT_MAX * UINT_MAX
+      {0xdeadbeefu, 0x12345678u},
+      {7, 0xfffffffdu},            // 7, -3
+      {0xfffffffdu, 7},
+      {1u << 31, 1u << 31},
+  };
+  Machine m(kMExtProgram);
+  for (const auto& [a, b] : kOperands) {
+    m.cpu.resume(0);
+    m.cpu.set_reg(10, a);
+    m.cpu.set_reg(11, b);
+    m.cpu.run();
+    ASSERT_EQ(m.cpu.halt_reason(), HaltReason::kEcall);
+    const MRef ref = m_reference(a, b);
+    EXPECT_EQ(m.cpu.reg(5), ref.mul) << a << " mul " << b;
+    EXPECT_EQ(m.cpu.reg(6), ref.mulh) << a << " mulh " << b;
+    EXPECT_EQ(m.cpu.reg(7), ref.mulhsu) << a << " mulhsu " << b;
+    EXPECT_EQ(m.cpu.reg(28), ref.mulhu) << a << " mulhu " << b;
+    EXPECT_EQ(m.cpu.reg(29), ref.div) << a << " div " << b;
+    EXPECT_EQ(m.cpu.reg(30), ref.divu) << a << " divu " << b;
+    EXPECT_EQ(m.cpu.reg(31), ref.rem) << a << " rem " << b;
+    EXPECT_EQ(m.cpu.reg(8), ref.remu) << a << " remu " << b;
+  }
+}
+
+TEST(Cpu, MisalignedLoadHalts) {
+  Machine m(R"(
+      li t0, 0x1002
+      lw a0, 0(t0)
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.halt_reason(), HaltReason::kMisalignedAccess);
+}
+
+TEST(Cpu, MisalignedStoreHalts) {
+  Machine m(R"(
+      li t0, 0x1001
+      sh t1, 0(t0)
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.halt_reason(), HaltReason::kMisalignedAccess);
+}
+
+TEST(Cpu, MisalignedFetchHalts) {
+  Machine m(R"(
+      li t0, 2
+      jr t0
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.halt_reason(), HaltReason::kMisalignedAccess);
+  EXPECT_EQ(m.cpu.pc(), 2u);  // the bad pc is left for diagnostics
+}
+
+TEST(Cpu, UnmappedLoadHalts) {
+  Machine m(R"(
+      li t0, 0x00200000
+      lw a0, 0(t0)
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.halt_reason(), HaltReason::kUnmappedAccess);
+}
+
+TEST(Cpu, UnmappedStoreHalts) {
+  Machine m(R"(
+      li t0, 0x00200000
+      sw t0, 0(t0)
+      ecall
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.halt_reason(), HaltReason::kUnmappedAccess);
+}
+
+TEST(Cpu, UnmappedFetchHalts) {
+  Machine m(R"(
+      li t0, 0x00200000
+      jr t0
+  )");
+  m.cpu.run();
+  EXPECT_EQ(m.cpu.halt_reason(), HaltReason::kUnmappedAccess);
+  EXPECT_EQ(m.cpu.pc(), 0x00200000u);
+}
+
+TEST(Cpu, FetchFaultDoesNotRetire) {
+  // A fetch that never produced an instruction retires nothing; a data
+  // fault retires its instruction (the access happened architecturally).
+  Machine bad_fetch(R"(
+      li t0, 2
+      jr t0
+  )");
+  bad_fetch.cpu.run();
+  EXPECT_EQ(bad_fetch.cpu.retired(), 2u);  // li + jr only
+
+  Machine bad_load(R"(
+      li t0, 0x102
+      lw a0, 0(t0)
+      ecall
+  )");
+  bad_load.cpu.run();
+  EXPECT_EQ(bad_load.cpu.halt_reason(), HaltReason::kMisalignedAccess);
+  EXPECT_EQ(bad_load.cpu.retired(), 2u);  // li + the faulting lw
+}
+
+TEST(HaltReasonNames, AllDistinct) {
+  EXPECT_STREQ(to_string(HaltReason::kEcall), "ecall");
+  EXPECT_STREQ(to_string(HaltReason::kMisalignedAccess), "misaligned-access");
+  EXPECT_STREQ(to_string(HaltReason::kUnmappedAccess), "unmapped-access");
+}
+
 TEST(Cpu, FunctionCallAndReturn) {
   Machine m(R"(
       li a0, 20
